@@ -1,0 +1,67 @@
+// Command dvabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dvabench [-exp table1,fig1,fig3,...|all] [-scale 1.0] [-csv]
+//
+// Each experiment prints an ASCII rendition of the corresponding paper
+// table or figure. Experiments sharing simulation runs (fig3/4/5) reuse a
+// common cache, so running "all" costs little more than the union of runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"decvec"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiments to run, or 'all'; available: "+strings.Join(decvec.ExperimentNames(), ","))
+		scale  = flag.Float64("scale", 1.0, "trace scale factor (1.0 = default trace sizes)")
+		quiet  = flag.Bool("q", false, "suppress timing output")
+		outDir = flag.String("out", "", "also write each experiment's report to <dir>/<name>.txt")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	names := decvec.ExperimentNames()
+	if *exps != "all" {
+		names = strings.Split(*exps, ",")
+	}
+	suite := decvec.NewSuite(*scale)
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		start := time.Now()
+		out, err := decvec.RunExperimentWithSuite(suite, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, out)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !*quiet {
+			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

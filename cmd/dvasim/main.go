@@ -1,0 +1,130 @@
+// Command dvasim runs one benchmark program on one architecture and prints
+// detailed statistics: cycle counts, the (FU2,FU1,LD) state breakdown,
+// memory traffic, queue occupancies and stall diagnostics.
+//
+// Usage:
+//
+//	dvasim -prog BDNA -arch DVA -latency 50 [-bypass] [-loadq 256] [-storeq 16] [-iq 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"decvec"
+)
+
+func main() {
+	var (
+		prog    = flag.String("prog", "ARC2D", "program to simulate: "+strings.Join(decvec.Workloads(), ","))
+		arch    = flag.String("arch", "DVA", "architecture: REF, DVA or BYP")
+		latency = flag.Int64("latency", 50, "memory latency in cycles")
+		loadQ   = flag.Int("loadq", 256, "AVDQ (vector load queue) slots")
+		storeQ  = flag.Int("storeq", 16, "VADQ (vector store queue) slots")
+		iq      = flag.Int("iq", 16, "instruction queue slots")
+		jitter  = flag.Int64("jitter", 0, "per-access latency jitter in cycles (memory conflicts)")
+		infile  = flag.String("i", "", "simulate a binary trace file instead of a program model")
+	)
+	flag.Parse()
+
+	cfg := decvec.DefaultConfig(*latency)
+	cfg.AVDQSize = *loadQ
+	cfg.VADQSize = *storeQ
+	cfg.IQSize = *iq
+	cfg.LatencyJitter = *jitter
+	if strings.ToUpper(*arch) == "BYP" {
+		cfg.Bypass = true
+	}
+
+	var res *decvec.Result
+	var name, desc string
+	var idealCycles int64
+	if *infile != "" {
+		f, err := os.Open(*infile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+			os.Exit(1)
+		}
+		src, err := decvec.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+			os.Exit(1)
+		}
+		name, desc = src.Name(), "trace file "+*infile
+		res, err = decvec.RunSource(src, strings.ToUpper(*arch), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+			os.Exit(1)
+		}
+		idealCycles = decvec.IdealCyclesOf(src)
+	} else {
+		w, err := decvec.LoadWorkload(*prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+			os.Exit(1)
+		}
+		name, desc = w.Name(), w.Description()
+		idealCycles = w.IdealCycles()
+		switch strings.ToUpper(*arch) {
+		case "REF":
+			res, err = w.RunREF(cfg)
+		case "DVA":
+			res, err = w.RunDVA(cfg)
+		case "BYP":
+			cfg.Bypass = true
+			res, err = w.RunDVA(cfg)
+		default:
+			err = fmt.Errorf("unknown architecture %q", *arch)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("%s on %s (%s)\n", name, res.Arch, desc)
+	fmt.Printf("  config:        %s\n", cfg.String())
+	fmt.Printf("  cycles:        %d (ideal lower bound %d, ratio %.2f)\n",
+		res.Cycles, idealCycles, float64(res.Cycles)/float64(idealCycles))
+	fmt.Printf("  instructions:  %d scalar, %d vector (%d vector ops, avg VL %.1f)\n",
+		res.Counts.ScalarInsts, res.Counts.VectorInsts, res.Counts.VectorOps, res.Counts.AvgVL())
+	fmt.Printf("  IPC:           %.3f\n", res.IPC())
+	fmt.Printf("  memory:        %d load elems, %d store elems (%d total)\n",
+		res.Traffic.LoadElems, res.Traffic.StoreElems, res.Traffic.Total())
+	fmt.Printf("  scalar cache:  %d hits, %d misses\n", res.ScalarCacheHits, res.ScalarCacheMisses)
+
+	fmt.Println("  state breakdown:")
+	for s := decvec.State(0); s < 8; s++ {
+		st := res.States
+		fmt.Printf("    %-16s %10d cycles (%5.1f%%)\n", s, st.Cycles[s], 100*st.Fraction(s))
+	}
+	if res.AVDQBusy != nil {
+		fmt.Printf("  AVDQ occupancy: mean %.2f, max %d\n", res.AVDQBusy.Mean(), res.AVDQBusy.Max())
+	}
+	if res.Arch != "REF" {
+		fmt.Printf("  bypasses:      %d (%d elements), store-queue flushes: %d\n",
+			res.Bypasses, res.BypassedElems, res.Flushes)
+		if len(res.Stalls) > 0 {
+			fmt.Println("  top stall causes:")
+			type kv struct {
+				k string
+				v int64
+			}
+			var stalls []kv
+			for k, v := range res.Stalls {
+				stalls = append(stalls, kv{k, v})
+			}
+			sort.Slice(stalls, func(i, j int) bool { return stalls[i].v > stalls[j].v })
+			for i, s := range stalls {
+				if i >= 6 {
+					break
+				}
+				fmt.Printf("    %-16s %10d\n", s.k, s.v)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package decvec is a cycle-accurate simulation study of Decoupled Vector
+// Architectures (Espasa & Valero, HPCA 1996).
+//
+// It provides three machine models — the reference Convex C3400-like
+// vector architecture (REF), the decoupled vector architecture (DVA) and
+// its store-to-load bypass variant (BYP) — driven by synthetic traces
+// modeled on the Perfect Club benchmark suite, plus the full experiment
+// harness that regenerates every table and figure of the paper.
+//
+// Quick start:
+//
+//	w, _ := decvec.LoadWorkload("BDNA")
+//	cfg := decvec.DefaultConfig(50) // memory latency in cycles
+//	refRes, _ := w.RunREF(cfg)
+//	dvaRes, _ := w.RunDVA(cfg)
+//	fmt.Printf("speedup %.2f\n", float64(refRes.Cycles)/float64(dvaRes.Cycles))
+package decvec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"decvec/internal/dva"
+	"decvec/internal/experiments"
+	"decvec/internal/ideal"
+	"decvec/internal/ooo"
+	"decvec/internal/ref"
+	"decvec/internal/report"
+	"decvec/internal/sim"
+	"decvec/internal/trace"
+	"decvec/internal/workload"
+)
+
+// Config parametrizes a simulation run: memory latency, pipeline depths,
+// queue sizes and the bypass switch. Obtain one from DefaultConfig or
+// BypassConfig and adjust fields as needed.
+type Config = sim.Config
+
+// Result is the outcome of one simulation run: total cycles, the
+// (FU2,FU1,LD) state breakdown, instruction counts, memory traffic, queue
+// occupancy histograms and stall diagnostics.
+type Result = sim.Result
+
+// State encodes the (FU2, FU1, LD) busy 3-tuple of one cycle; Result.States
+// indexes its per-state cycle counts by State.
+type State = sim.State
+
+// DefaultConfig returns the paper's main DVA configuration (instruction
+// queues 16, scalar queues 256, AVDQ 256, VADQ 16) at the given memory
+// latency in cycles.
+func DefaultConfig(latency int64) Config { return sim.DefaultConfig(latency) }
+
+// BypassConfig returns a §7 bypass configuration "BYP loadQ/storeQ" at the
+// given latency.
+func BypassConfig(latency int64, loadQ, storeQ int) Config {
+	return sim.BypassConfig(latency, loadQ, storeQ)
+}
+
+// Workload is one benchmark program model.
+type Workload struct {
+	p *workload.Program
+}
+
+// Workloads lists the names of all thirteen Perfect Club program models.
+func Workloads() []string {
+	names := make([]string, 0, len(workload.All))
+	for _, p := range workload.All {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// SimulatedWorkloads lists the six programs the paper simulates.
+func SimulatedWorkloads() []string {
+	var names []string
+	for _, p := range workload.All {
+		if p.Simulated {
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// LoadWorkload returns the named program model (see Workloads).
+func LoadWorkload(name string) (*Workload, error) {
+	p, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{p: p}, nil
+}
+
+// Name returns the program name.
+func (w *Workload) Name() string { return w.p.Name }
+
+// Description returns a one-line description of the program model.
+func (w *Workload) Description() string { return w.p.Description }
+
+// Trace returns the program's dynamic instruction trace at the given scale
+// (1.0 = default, tens of thousands of instructions). Traces are memoized
+// per (program, scale); use FreshTrace to force regeneration.
+func (w *Workload) Trace(scale float64) trace.Source {
+	return w.p.CachedTrace(scale)
+}
+
+// FreshTrace synthesizes the trace anew, bypassing the memoization cache.
+// Generation is deterministic, so the result always equals Trace's.
+func (w *Workload) FreshTrace(scale float64) trace.Source {
+	return w.p.Trace(scale)
+}
+
+// Stats returns the Table 1 statistics of the trace at scale 1.
+func (w *Workload) Stats() *trace.Stats {
+	return trace.Collect(w.p.CachedTrace(1))
+}
+
+// RunREF simulates the workload on the reference vector architecture.
+func (w *Workload) RunREF(cfg Config) (*Result, error) {
+	return ref.Run(w.p.CachedTrace(1), cfg)
+}
+
+// RunDVA simulates the workload on the decoupled vector architecture
+// (set cfg.Bypass, or use BypassConfig, for the bypass variant).
+func (w *Workload) RunDVA(cfg Config) (*Result, error) {
+	return dva.Run(w.p.CachedTrace(1), cfg)
+}
+
+// RunOOO simulates the workload on the out-of-order, register-renaming
+// extension of the reference architecture (the paper's §8 comparison) with
+// the given issue-window and physical vector-register pool sizes.
+func (w *Workload) RunOOO(cfg Config, window, physRegs int) (*Result, error) {
+	ocfg := ooo.Config{Config: cfg, Window: window, PhysRegs: physRegs}
+	return ooo.Run(w.p.CachedTrace(1), ocfg)
+}
+
+// IdealCycles returns the §5 five-resource lower bound on execution time.
+func (w *Workload) IdealCycles() int64 {
+	return ideal.Compute(w.p.CachedTrace(1)).Cycles
+}
+
+// WriteTrace serializes a trace to w in the compact binary format (the
+// role Dixie trace files played in the paper's methodology). Only
+// in-memory traces (as produced by Workload.Trace and tracegen) can be
+// serialized.
+func WriteTrace(w io.Writer, src trace.Source) error {
+	s, ok := src.(*trace.Slice)
+	if !ok {
+		s = trace.Materialize(src.Name(), src.Stream())
+	}
+	return trace.Write(w, s)
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (trace.Source, error) {
+	return trace.Read(r)
+}
+
+// IdealCyclesOf returns the §5 five-resource lower bound for an arbitrary
+// trace source.
+func IdealCyclesOf(src trace.Source) int64 {
+	return ideal.Compute(src).Cycles
+}
+
+// RunSource simulates an arbitrary trace source (for example one built
+// with the tracegen kernels) on REF or DVA.
+func RunSource(src trace.Source, arch string, cfg Config) (*Result, error) {
+	switch arch {
+	case "REF", "ref":
+		return ref.Run(src, cfg)
+	case "DVA", "dva", "BYP", "byp":
+		if arch == "BYP" || arch == "byp" {
+			cfg.Bypass = true
+		}
+		return dva.Run(src, cfg)
+	default:
+		return nil, fmt.Errorf("decvec: unknown architecture %q (want REF, DVA or BYP)", arch)
+	}
+}
+
+// ExperimentNames lists the regenerable paper experiments.
+func ExperimentNames() []string {
+	names := make([]string, 0, len(experimentRunners))
+	for n := range experimentRunners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var experimentRunners = map[string]func(s *experiments.Suite) (string, error){
+	"table1": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Table1(s)
+		if err != nil {
+			return "", err
+		}
+		return report.Table1(r), nil
+	},
+	"fig1": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure1(s)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure1(r), nil
+	},
+	"fig3": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure3(r), nil
+	},
+	"fig4": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure4(r), nil
+	},
+	"fig5": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure5(r), nil
+	},
+	"fig6": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure6(s)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure6(r), nil
+	},
+	"fig7": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure7(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure7(r), nil
+	},
+	"fig8": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure8(s, 30)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure8(r), nil
+	},
+	"extension-conflicts": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionConflicts(s, 20, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.ExtensionConflicts(r), nil
+	},
+	"extension-ports": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionPorts(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.ExtensionPorts(r), nil
+	},
+	"extension-ooo": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionOOO(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return report.ExtensionOOO(r), nil
+	},
+	"ablation-iq": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationIQ(s, 50)
+		if err != nil {
+			return "", err
+		}
+		return report.Ablation(r), nil
+	},
+	"ablation-vsq": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationVSQ(s, 50)
+		if err != nil {
+			return "", err
+		}
+		return report.Ablation(r), nil
+	},
+	"ablation-avdq": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationAVDQ(s, 50)
+		if err != nil {
+			return "", err
+		}
+		return report.Ablation(r), nil
+	},
+	"ablation-qmov": func(s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationQMov(s, 50)
+		if err != nil {
+			return "", err
+		}
+		return report.Ablation(r), nil
+	},
+}
+
+// RunExperiment regenerates one paper experiment by name (see
+// ExperimentNames) at the given trace scale and returns the rendered
+// report. A shared suite may be passed to reuse simulation results across
+// experiments; pass nil for a fresh one.
+func RunExperiment(name string, scale float64) (string, error) {
+	return RunExperimentWithSuite(NewSuite(scale), name)
+}
+
+// Suite caches simulation runs across experiments.
+type Suite = experiments.Suite
+
+// NewSuite returns a fresh experiment suite at the given trace scale.
+func NewSuite(scale float64) *Suite { return experiments.NewSuite(scale) }
+
+// RunExperimentWithSuite is RunExperiment against a shared suite.
+func RunExperimentWithSuite(s *Suite, name string) (string, error) {
+	fn, ok := experimentRunners[name]
+	if !ok {
+		return "", fmt.Errorf("decvec: unknown experiment %q (have %v)", name, ExperimentNames())
+	}
+	return fn(s)
+}

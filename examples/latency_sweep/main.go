@@ -1,0 +1,51 @@
+// Latency sweep: reproduce a Figure 3-style study for one program — how
+// execution time grows with memory latency on the reference architecture
+// versus the decoupled one. The flat DVA curve against the steep REF curve
+// is the paper's central observation: decoupling tolerates long memory
+// delays far better than conventional vector architectures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"decvec"
+)
+
+func main() {
+	prog := flag.String("prog", "TRFD", "program to sweep")
+	flag.Parse()
+
+	w, err := decvec.LoadWorkload(*prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ideal := w.IdealCycles()
+
+	fmt.Printf("%s: execution cycles vs memory latency (ideal bound %d)\n\n", w.Name(), ideal)
+	fmt.Printf("%8s %10s %10s %8s   %s\n", "latency", "REF", "DVA", "speedup", "REF growth")
+	var base int64
+	for _, l := range []int64{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		cfg := decvec.DefaultConfig(l)
+		r, err := w.RunREF(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := w.RunDVA(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = r.Cycles
+		}
+		growth := float64(r.Cycles) / float64(base)
+		bar := strings.Repeat("#", int(20*(growth-1))+1)
+		fmt.Printf("%8d %10d %10d %7.2fx   %s\n",
+			l, r.Cycles, d.Cycles, float64(r.Cycles)/float64(d.Cycles), bar)
+	}
+	fmt.Println("\nThe REF curve climbs with latency while the DVA stays nearly flat:")
+	fmt.Println("the address processor slips ahead and loads data before the vector")
+	fmt.Println("processor needs it, so memory latency leaves the critical path.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: run one Perfect Club model on both architectures and print
+// the decoupling speedup — the paper's headline result in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decvec"
+)
+
+func main() {
+	w, err := decvec.LoadWorkload("BDNA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := decvec.DefaultConfig(50) // 50-cycle memory latency
+
+	refRes, err := w.RunREF(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dvaRes, err := w.RunDVA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s (%s)\n", w.Name(), w.Description())
+	fmt.Printf("  reference architecture: %9d cycles\n", refRes.Cycles)
+	fmt.Printf("  decoupled architecture: %9d cycles\n", dvaRes.Cycles)
+	fmt.Printf("  ideal lower bound:      %9d cycles\n", w.IdealCycles())
+	fmt.Printf("  speedup from decoupling: %.2fx\n",
+		float64(refRes.Cycles)/float64(dvaRes.Cycles))
+	fmt.Printf("  stall cycles < , , >: REF %d vs DVA %d (%.1fx reduction)\n",
+		refRes.States.Idle(), dvaRes.States.Idle(),
+		float64(refRes.States.Idle())/float64(dvaRes.States.Idle()))
+}

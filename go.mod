@@ -1,0 +1,3 @@
+module decvec
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package disamb implements the dynamic memory disambiguation logic of the
+// decoupled vector architecture.
+//
+// The paper (§4.2) defines the memory range of a strided vector reference
+// with base address BA, vector length VL, vector stride VS and access
+// granularity S bytes as all locations between BA and BA + (VL-1)*VS + S
+// (terms inverted for negative strides). Two references conflict when their
+// ranges overlap in at least one byte. Scatters and gathers cannot be
+// characterized by a range and conservatively "define all memory".
+package disamb
+
+import (
+	"fmt"
+
+	"decvec/internal/isa"
+)
+
+// Range is the closed-open byte interval [Lo, Hi) touched by a memory
+// reference. All reports a scatter/gather, which conservatively overlaps
+// everything.
+type Range struct {
+	Lo, Hi uint64
+	All    bool
+}
+
+// RangeOf computes the memory range accessed by a memory instruction.
+// It panics if the instruction is not a memory access.
+func RangeOf(in *isa.Inst) Range {
+	switch in.Class {
+	case isa.ClassGather, isa.ClassScatter:
+		return Range{All: true}
+	case isa.ClassScalarLoad, isa.ClassScalarStore:
+		return Range{Lo: in.Base, Hi: in.Base + isa.ElemSize}
+	case isa.ClassVectorLoad, isa.ClassVectorStore:
+		span := int64(in.VL-1) * in.Stride * isa.ElemSize
+		if span >= 0 {
+			return Range{Lo: in.Base, Hi: in.Base + uint64(span) + isa.ElemSize}
+		}
+		// Negative stride: the last element is at the lowest address.
+		return Range{Lo: in.Base - uint64(-span), Hi: in.Base + isa.ElemSize}
+	default:
+		panic(fmt.Sprintf("disamb: RangeOf on non-memory instruction %s", in))
+	}
+}
+
+// Overlaps reports whether two ranges share at least one byte.
+func (r Range) Overlaps(o Range) bool {
+	if r.All || o.All {
+		return true
+	}
+	return r.Lo < o.Hi && o.Lo < r.Hi
+}
+
+// Bytes returns the extent of the range in bytes (0 for All, whose extent is
+// unbounded).
+func (r Range) Bytes() uint64 {
+	if r.All {
+		return 0
+	}
+	return r.Hi - r.Lo
+}
+
+// String formats the range for debug output.
+func (r Range) String() string {
+	if r.All {
+		return "[all memory]"
+	}
+	return fmt.Sprintf("[%#x,%#x)", r.Lo, r.Hi)
+}
+
+// Identical reports whether a load is element-for-element identical to a
+// store, i.e. same base address, same effective element sequence (length and
+// stride) and both strided accesses. Only identical pairs are eligible for
+// the VADQ->AVDQ bypass of §7; gathers/scatters never are.
+func Identical(load, store *isa.Inst) bool {
+	if load.Class != isa.ClassVectorLoad || store.Class != isa.ClassVectorStore {
+		return false
+	}
+	if load.Base != store.Base || load.VL != store.VL {
+		return false
+	}
+	// A one-element access matches regardless of stride.
+	return load.VL == 1 || load.Stride == store.Stride
+}
+
+// PendingStore is one entry of a store address queue as seen by the
+// disambiguator: the instruction that created it plus its queue position
+// (older entries have smaller Seq by construction of in-order APs).
+type PendingStore struct {
+	Inst  *isa.Inst
+	Range Range
+}
+
+// Conflict is the result of disambiguating a load against the store queues.
+type Conflict struct {
+	// Hazard is true when the load overlaps at least one pending store and
+	// therefore cannot be issued before the offending stores are drained.
+	Hazard bool
+	// YoungestSeq is the sequence number of the youngest overlapping store;
+	// all stores up to and including it must be written to memory first.
+	// Valid only when Hazard is true.
+	YoungestSeq int64
+	// BypassSeq is the sequence number of a pending store identical to the
+	// load, if any (-1 otherwise). When the youngest overlapping store is an
+	// identical one, the load may be serviced by bypass instead of draining.
+	BypassSeq int64
+}
+
+// Check disambiguates a load (scalar or vector) against the pending stores
+// of both store address queues. The stores slice may be in any order; the
+// decision depends only on range overlap and sequence numbers.
+func Check(load *isa.Inst, stores []PendingStore) Conflict {
+	c := Conflict{YoungestSeq: -1, BypassSeq: -1}
+	lr := RangeOf(load)
+	for _, st := range stores {
+		if !lr.Overlaps(st.Range) {
+			continue
+		}
+		c.Hazard = true
+		if st.Inst.Seq > c.YoungestSeq {
+			c.YoungestSeq = st.Inst.Seq
+			if Identical(load, st.Inst) {
+				c.BypassSeq = st.Inst.Seq
+			} else {
+				c.BypassSeq = -1
+			}
+		}
+	}
+	return c
+}

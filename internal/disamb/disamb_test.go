@@ -1,0 +1,238 @@
+package disamb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"decvec/internal/isa"
+)
+
+func vload(seq int64, base uint64, vl int, stride int64) *isa.Inst {
+	return &isa.Inst{Seq: seq, Class: isa.ClassVectorLoad, Dst: isa.V(0), Base: base, VL: vl, Stride: stride}
+}
+
+func vstore(seq int64, base uint64, vl int, stride int64) *isa.Inst {
+	return &isa.Inst{Seq: seq, Class: isa.ClassVectorStore, Dst: isa.V(1), Base: base, VL: vl, Stride: stride}
+}
+
+func TestRangeOfUnitStride(t *testing.T) {
+	r := RangeOf(vload(0, 0x1000, 16, 1))
+	// 16 elements of 8 bytes: [0x1000, 0x1080).
+	if r.Lo != 0x1000 || r.Hi != 0x1080 || r.All {
+		t.Errorf("got %v", r)
+	}
+	if r.Bytes() != 128 {
+		t.Errorf("Bytes() = %d", r.Bytes())
+	}
+}
+
+func TestRangeOfStride(t *testing.T) {
+	r := RangeOf(vload(0, 0x1000, 4, 4))
+	// Elements at 0x1000, 0x1020, 0x1040, 0x1060; range ends 0x1068.
+	if r.Lo != 0x1000 || r.Hi != 0x1068 {
+		t.Errorf("got %v", r)
+	}
+}
+
+func TestRangeOfNegativeStride(t *testing.T) {
+	r := RangeOf(vload(0, 0x1000, 4, -2))
+	// Elements at 0x1000, 0xfF0, 0xfe0, 0xfd0: lowest 0xfd0, Hi 0x1008.
+	if r.Lo != 0xfd0 || r.Hi != 0x1008 {
+		t.Errorf("got %v", r)
+	}
+}
+
+func TestRangeOfScalar(t *testing.T) {
+	in := &isa.Inst{Class: isa.ClassScalarLoad, Dst: isa.S(0), Base: 0x500}
+	r := RangeOf(in)
+	if r.Lo != 0x500 || r.Hi != 0x508 {
+		t.Errorf("got %v", r)
+	}
+}
+
+func TestRangeOfGatherScatterIsAll(t *testing.T) {
+	g := &isa.Inst{Class: isa.ClassGather, Dst: isa.V(0), Base: 0x100, VL: 4, Stride: 1}
+	if !RangeOf(g).All {
+		t.Error("gather must define all memory")
+	}
+	s := &isa.Inst{Class: isa.ClassScatter, Dst: isa.V(0), Base: 0x100, VL: 4, Stride: 1}
+	if !RangeOf(s).All {
+		t.Error("scatter must define all memory")
+	}
+	if RangeOf(g).Bytes() != 0 {
+		t.Error("All range has no finite extent")
+	}
+}
+
+func TestRangeOfPanicsOnNonMemory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	RangeOf(&isa.Inst{Class: isa.ClassVectorALU, Op: isa.OpAdd, Dst: isa.V(0), VL: 4})
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{Range{Lo: 0, Hi: 8}, Range{Lo: 8, Hi: 16}, false},   // adjacent
+		{Range{Lo: 0, Hi: 9}, Range{Lo: 8, Hi: 16}, true},    // one byte
+		{Range{Lo: 0, Hi: 100}, Range{Lo: 40, Hi: 50}, true}, // contained
+		{Range{All: true}, Range{Lo: 1, Hi: 2}, true},        // all
+		{Range{Lo: 1, Hi: 2}, Range{All: true}, true},
+		{Range{Lo: 16, Hi: 24}, Range{Lo: 0, Hi: 8}, false}, // disjoint
+	}
+	for i, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: %v overlaps %v = %v", i, c.a, c.b, got)
+		}
+	}
+}
+
+func TestOverlapsSymmetric_Quick(t *testing.T) {
+	f := func(aLo, aLen, bLo, bLen uint16) bool {
+		a := Range{Lo: uint64(aLo), Hi: uint64(aLo) + uint64(aLen) + 1}
+		b := Range{Lo: uint64(bLo), Hi: uint64(bLo) + uint64(bLen) + 1}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapsSelf_Quick(t *testing.T) {
+	f := func(lo uint32, length uint16) bool {
+		r := Range{Lo: uint64(lo), Hi: uint64(lo) + uint64(length) + 1}
+		return r.Overlaps(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	ld := vload(5, 0x2000, 32, 2)
+	cases := []struct {
+		st   *isa.Inst
+		want bool
+	}{
+		{vstore(1, 0x2000, 32, 2), true},
+		{vstore(1, 0x2008, 32, 2), false}, // different base
+		{vstore(1, 0x2000, 16, 2), false}, // different length
+		{vstore(1, 0x2000, 32, 4), false}, // different stride
+	}
+	for i, c := range cases {
+		if got := Identical(ld, c.st); got != c.want {
+			t.Errorf("case %d: Identical = %v", i, got)
+		}
+	}
+	// Single-element accesses match regardless of stride.
+	if !Identical(vload(0, 0x100, 1, 7), vstore(0, 0x100, 1, 3)) {
+		t.Error("VL=1 loads should match ignoring stride")
+	}
+	// Gathers never bypass.
+	g := &isa.Inst{Class: isa.ClassGather, Dst: isa.V(0), Base: 0x2000, VL: 32, Stride: 2}
+	if Identical(g, vstore(0, 0x2000, 32, 2)) {
+		t.Error("gather must not be bypass-eligible")
+	}
+	// Scatters are not bypass sources.
+	sc := &isa.Inst{Class: isa.ClassScatter, Dst: isa.V(0), Base: 0x2000, VL: 32, Stride: 2}
+	if Identical(ld, sc) {
+		t.Error("scatter must not be a bypass source")
+	}
+}
+
+func pend(sts ...*isa.Inst) []PendingStore {
+	var ps []PendingStore
+	for _, st := range sts {
+		ps = append(ps, PendingStore{Inst: st, Range: RangeOf(st)})
+	}
+	return ps
+}
+
+func TestCheckNoHazard(t *testing.T) {
+	ld := vload(10, 0x9000, 16, 1)
+	c := Check(ld, pend(vstore(1, 0x1000, 16, 1), vstore(2, 0x2000, 16, 1)))
+	if c.Hazard {
+		t.Errorf("unexpected hazard: %+v", c)
+	}
+	if c.YoungestSeq != -1 || c.BypassSeq != -1 {
+		t.Errorf("sentinels wrong: %+v", c)
+	}
+}
+
+func TestCheckYoungestWins(t *testing.T) {
+	ld := vload(10, 0x1000, 16, 1)
+	// Two overlapping stores; the youngest determines the drain point.
+	c := Check(ld, pend(vstore(3, 0x1000, 16, 1), vstore(7, 0x1040, 16, 1)))
+	if !c.Hazard || c.YoungestSeq != 7 {
+		t.Errorf("got %+v", c)
+	}
+	// Youngest (seq 7) is not identical, so no bypass even though seq 3 is.
+	if c.BypassSeq != -1 {
+		t.Errorf("bypass should be cleared by a younger non-identical store: %+v", c)
+	}
+}
+
+func TestCheckBypassEligible(t *testing.T) {
+	ld := vload(10, 0x1000, 16, 1)
+	c := Check(ld, pend(vstore(2, 0x5000, 8, 1), vstore(5, 0x1000, 16, 1)))
+	if !c.Hazard || c.YoungestSeq != 5 || c.BypassSeq != 5 {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestCheckOrderIndependent(t *testing.T) {
+	ld := vload(10, 0x1000, 16, 1)
+	a := pend(vstore(3, 0x1000, 16, 1), vstore(7, 0x1040, 16, 1))
+	b := pend(vstore(7, 0x1040, 16, 1), vstore(3, 0x1000, 16, 1))
+	ca, cb := Check(ld, a), Check(ld, b)
+	if ca != cb {
+		t.Errorf("order dependence: %+v vs %+v", ca, cb)
+	}
+}
+
+func TestCheckScalarLoadAgainstVectorStore(t *testing.T) {
+	ld := &isa.Inst{Seq: 9, Class: isa.ClassScalarLoad, Dst: isa.S(0), Base: 0x1010}
+	c := Check(ld, pend(vstore(4, 0x1000, 16, 1)))
+	if !c.Hazard || c.YoungestSeq != 4 {
+		t.Errorf("got %+v", c)
+	}
+	// Scalar loads can never be identical to a vector store.
+	if c.BypassSeq != -1 {
+		t.Errorf("scalar load must not be bypass-eligible: %+v", c)
+	}
+}
+
+// Property: Check's hazard decision equals the existence of an overlapping
+// store, and YoungestSeq is the max overlapping sequence number.
+func TestCheckMatchesBruteForce_Quick(t *testing.T) {
+	f := func(loBase uint16, stores [4]struct {
+		Base uint16
+		VL   uint8
+	}) bool {
+		ld := vload(100, 0x1000+uint64(loBase), 8, 1)
+		var ps []PendingStore
+		var wantHazard bool
+		wantYoungest := int64(-1)
+		for i, s := range stores {
+			vl := int(s.VL%32) + 1
+			st := vstore(int64(i), 0x1000+uint64(s.Base), vl, 1)
+			ps = append(ps, PendingStore{Inst: st, Range: RangeOf(st)})
+			if RangeOf(ld).Overlaps(RangeOf(st)) {
+				wantHazard = true
+				if int64(i) > wantYoungest {
+					wantYoungest = int64(i)
+				}
+			}
+		}
+		c := Check(ld, ps)
+		return c.Hazard == wantHazard && (!wantHazard || c.YoungestSeq == wantYoungest)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

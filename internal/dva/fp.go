@@ -1,0 +1,162 @@
+package dva
+
+import (
+	"fmt"
+
+	"decvec/internal/isa"
+	"decvec/internal/queue"
+)
+
+// push is one queue insertion the fetch processor must perform to dispatch
+// an instruction.
+type push struct {
+	q *queue.Q[uop]
+	u uop
+}
+
+// stepFetch advances the fetch processor by one cycle: it drains the branch
+// result queues (perfect branch prediction — outcomes are consumed but
+// never stall fetch, §4.1) and dispatches at most one instruction,
+// translating it into its decoupled form and fabricating the necessary QMOV
+// pseudo-instructions.
+func (m *machine) stepFetch() {
+	// Drain branch outcome queues for free.
+	for {
+		if _, ok := m.afbq.Pop(m.now); !ok {
+			break
+		}
+		m.progress()
+	}
+	for {
+		if _, ok := m.sfbq.Pop(m.now); !ok {
+			break
+		}
+		m.progress()
+	}
+
+	if !m.hasPending {
+		in, ok := m.stream.Next()
+		if !ok {
+			m.streamDone = true
+			return
+		}
+		m.pending = *in
+		m.hasPending = true
+		m.countInst(&m.pending)
+	}
+
+	pushes := m.route(m.pushScratch[:0], &m.pending)
+	m.pushScratch = pushes
+	// All destination queues must have room for their share of the pushes;
+	// the dispatch is atomic. There are at most four pushes, so the
+	// duplicate counting is a couple of comparisons.
+	for i := range pushes {
+		need := 1
+		dup := false
+		for j := range pushes {
+			if j != i && pushes[j].q == pushes[i].q {
+				if j < i {
+					dup = true
+					break
+				}
+				need++
+			}
+		}
+		if dup {
+			continue // counted at the first occurrence
+		}
+		if pushes[i].q.Cap()-pushes[i].q.Len() < need {
+			m.stall("FP")
+			return
+		}
+	}
+	for _, p := range pushes {
+		if !p.q.Push(m.now, p.u) {
+			panic("dva: dispatch push failed after capacity check")
+		}
+	}
+	m.hasPending = false
+	m.progress()
+}
+
+func (m *machine) countInst(in *isa.Inst) {
+	if in.IsVector() {
+		m.counts.VectorInsts++
+		m.counts.VectorOps += int64(in.VL)
+	} else {
+		m.counts.ScalarInsts++
+	}
+	if in.Class.IsMemory() {
+		m.counts.MemInsts++
+		if in.Spill {
+			m.counts.SpillMemOps++
+		}
+	}
+	if in.BBEnd {
+		m.counts.BasicBlocks++
+	}
+}
+
+// route translates one architectural instruction into the uops that flow to
+// the three processors (§4.1's simple translation rules), appending them to
+// ps and returning the extended slice.
+func (m *machine) route(ps []push, in *isa.Inst) []push {
+	exec := uop{kind: uExec, in: *in}
+	switch in.Class {
+	case isa.ClassNop, isa.ClassVSetVL, isa.ClassVSetVS:
+		return append(ps, push{m.spIQ, exec})
+
+	case isa.ClassScalarALU, isa.ClassBranch:
+		if involvesA(in) {
+			ps = append(ps, push{m.apIQ, exec})
+			// The AP receives S-register operands through the SAAQ.
+			for _, src := range [...]isa.Reg{in.Src1, in.Src2} {
+				if src.Kind == isa.RegS {
+					ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSAA, in: *in}})
+				}
+			}
+			return ps
+		}
+		return append(ps, push{m.spIQ, exec})
+
+	case isa.ClassScalarLoad:
+		ps = append(ps, push{m.apIQ, exec})
+		if in.Dst.Kind == isa.RegS {
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovAStoS, in: *in}})
+		}
+		return ps
+
+	case isa.ClassScalarStore:
+		ps = append(ps, push{m.apIQ, exec})
+		if in.Dst.Kind == isa.RegS {
+			// The data travels SP -> SADQ -> store engine.
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSA, in: *in}})
+		}
+		return ps
+
+	case isa.ClassVectorLoad, isa.ClassGather:
+		return append(ps,
+			push{m.apIQ, exec},
+			push{m.vpIQ, uop{kind: uQMovAVtoV, in: *in}})
+
+	case isa.ClassVectorStore, isa.ClassScatter:
+		return append(ps,
+			push{m.vpIQ, uop{kind: uQMovVtoVA, in: *in}},
+			push{m.apIQ, exec})
+
+	case isa.ClassVectorALU:
+		ps = append(ps, push{m.vpIQ, exec})
+		if in.Src2.Kind == isa.RegS {
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSV, in: *in}})
+		}
+		return ps
+
+	case isa.ClassReduce:
+		return append(ps,
+			push{m.vpIQ, exec},
+			push{m.spIQ, uop{kind: uQMovVStoS, in: *in}})
+
+	default:
+		panic(fmt.Sprintf("dva: unroutable instruction %s", in))
+	}
+}

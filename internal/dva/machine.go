@@ -1,0 +1,264 @@
+package dva
+
+import (
+	"fmt"
+	"strings"
+
+	"decvec/internal/disamb"
+
+	"decvec/internal/isa"
+	"decvec/internal/mem"
+	"decvec/internal/queue"
+	"decvec/internal/sim"
+	"decvec/internal/trace"
+)
+
+// machine is the complete state of one decoupled-architecture simulation.
+type machine struct {
+	cfg   sim.Config
+	now   int64
+	bus   *mem.Bus
+	cache *mem.Cache
+
+	// Fetch processor.
+	stream     trace.Stream
+	streamDone bool
+	pending    isa.Inst
+	hasPending bool
+	// pushScratch is reused by the dispatcher to avoid per-instruction
+	// allocation.
+	pushScratch []push
+
+	// Instruction queues.
+	apIQ, spIQ, vpIQ *queue.Q[uop]
+	// Vector data queues.
+	avdq, vadq *queue.Q[vslot]
+	// Scalar data queues.
+	asdq, sadq, svdq, vsdq, saaq *queue.Q[sslot]
+	// Store address queues.
+	ssaq, vsaq *queue.Q[storeAddr]
+	// Branch result queues back to the FP.
+	afbq, sfbq *queue.Q[int64]
+
+	// Address processor.
+	aReady          [isa.NumARegs]int64
+	flushWaitSeq    int64 // -1 when not draining for a hazard
+	bypassBusyUntil int64
+	// psScratch is reused by pendingStores to avoid per-issue allocation.
+	psScratch []disamb.PendingStore
+
+	// Store engine (performs queued stores behind the AP's back).
+	storeActive   bool
+	storeIsVector bool
+	storeDoneAt   int64
+	// lastBusLoad arbitrates the shared address bus fairly: after a load
+	// used the bus, the store engine gets the first shot at the next free
+	// bus cycle, and vice versa, so neither stream starves the other.
+	lastBusLoad bool
+
+	// Scalar processor.
+	sReady [isa.NumSRegs]int64
+
+	// Vector processor.
+	vRegs    [isa.NumVRegs]vreg
+	fu1Busy  int64
+	fu2Busy  int64
+	qmovBusy []int64
+	drains   []drain
+
+	// Measurements.
+	states   sim.StateStats
+	counts   sim.Counts
+	traffic  sim.MemTraffic
+	avdqHist *sim.Histogram
+	vadqHist *sim.Histogram
+	bypasses int64
+	bypElems int64
+	flushes  int64
+	stalls   map[string]int64
+
+	lastProgress int64
+}
+
+// Run simulates the trace on the decoupled vector architecture under cfg
+// (set cfg.Bypass for the §7 bypass variant) and returns the measured
+// result. It returns an error for invalid configurations or if the machine
+// deadlocks, which would indicate a malformed trace.
+func Run(src trace.Source, cfg sim.Config) (*sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMachine(src, cfg)
+	if err := m.run(); err != nil {
+		return nil, fmt.Errorf("dva: %s on %s: %w", cfg.String(), src.Name(), err)
+	}
+	arch := "DVA"
+	if cfg.Bypass {
+		arch = "BYP"
+	}
+	return &sim.Result{
+		Arch:              arch,
+		Config:            cfg,
+		Cycles:            m.now,
+		States:            m.states,
+		Counts:            m.counts,
+		Traffic:           m.traffic,
+		AVDQBusy:          m.avdqHist,
+		VADQBusy:          m.vadqHist,
+		Bypasses:          m.bypasses,
+		BypassedElems:     m.bypElems,
+		Flushes:           m.flushes,
+		ScalarCacheHits:   m.cache.Hits,
+		ScalarCacheMisses: m.cache.Misses,
+		Stalls:            m.stalls,
+	}, nil
+}
+
+func newMachine(src trace.Source, cfg sim.Config) *machine {
+	sq := cfg.ScalarQSize
+	return &machine{
+		cfg:          cfg,
+		bus:          mem.NewBus(cfg.MemPorts),
+		cache:        mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
+		stream:       src.Stream(),
+		apIQ:         queue.New[uop]("APIQ", cfg.IQSize),
+		spIQ:         queue.New[uop]("SPIQ", cfg.IQSize),
+		vpIQ:         queue.New[uop]("VPIQ", cfg.IQSize),
+		avdq:         queue.New[vslot]("AVDQ", cfg.AVDQSize),
+		vadq:         queue.New[vslot]("VADQ", cfg.VADQSize),
+		asdq:         queue.New[sslot]("ASDQ", sq),
+		sadq:         queue.New[sslot]("SADQ", sq),
+		svdq:         queue.New[sslot]("SVDQ", sq),
+		vsdq:         queue.New[sslot]("VSDQ", sq),
+		saaq:         queue.New[sslot]("SAAQ", sq),
+		ssaq:         queue.New[storeAddr]("SSAQ", sq),
+		vsaq:         queue.New[storeAddr]("VSAQ", cfg.EffVSAQSize()),
+		afbq:         queue.New[int64]("AFBQ", sq),
+		sfbq:         queue.New[int64]("SFBQ", sq),
+		flushWaitSeq: -1,
+		qmovBusy:     make([]int64, cfg.QMovUnits),
+		avdqHist:     sim.NewHistogram(cfg.AVDQSize),
+		vadqHist:     sim.NewHistogram(cfg.VADQSize),
+		stalls:       make(map[string]int64),
+	}
+}
+
+// deadlockWindow is how many cycles without any progress the machine
+// tolerates before declaring a deadlock. Every legitimate passive wait is
+// bounded by memory latency plus a pipeline's worth of cycles.
+func (m *machine) deadlockWindow() int64 {
+	return 16*(m.cfg.MemLatency+isa.MaxVL+m.cfg.DivDepth) + 4096
+}
+
+func (m *machine) progress() { m.lastProgress = m.now }
+
+func (m *machine) run() error {
+	window := m.deadlockWindow()
+	for {
+		m.stepFetch()
+		// Loads normally have first claim on the address bus (they sit on
+		// the critical path; stores never stall the processor, §4.2). The
+		// store engine gets priority when the store queues are under
+		// pressure, so a long load streak cannot starve stores into
+		// overflowing their queues.
+		if m.storePressure() {
+			m.stepStoreEngine()
+			m.stepAP()
+		} else {
+			m.stepAP()
+			m.stepStoreEngine()
+		}
+		m.stepSP()
+		m.stepVP()
+		m.completeDrains()
+		if m.finished() {
+			return nil
+		}
+		m.sample()
+		m.now++
+		if m.now-m.lastProgress > window {
+			return fmt.Errorf("deadlock at cycle %d: %s", m.now, m.dumpState())
+		}
+	}
+}
+
+// finished reports whether every stream, queue and unit has drained.
+func (m *machine) finished() bool {
+	if !m.streamDone || m.hasPending {
+		return false
+	}
+	for _, e := range [...]bool{
+		m.apIQ.Empty(), m.spIQ.Empty(), m.vpIQ.Empty(),
+		m.avdq.Empty(), m.vadq.Empty(),
+		m.asdq.Empty(), m.sadq.Empty(), m.svdq.Empty(), m.vsdq.Empty(), m.saaq.Empty(),
+		m.ssaq.Empty(), m.vsaq.Empty(),
+		m.afbq.Empty(), m.sfbq.Empty(),
+	} {
+		if !e {
+			return false
+		}
+	}
+	if m.storeActive || len(m.drains) > 0 {
+		return false
+	}
+	// Let in-flight pipeline work retire.
+	busy := max64(m.fu1Busy, m.fu2Busy)
+	for _, q := range m.qmovBusy {
+		busy = max64(busy, q)
+	}
+	busy = max64(busy, m.bus.FreeCycle())
+	busy = max64(busy, m.bypassBusyUntil)
+	for _, r := range m.aReady {
+		busy = max64(busy, r)
+	}
+	for _, r := range m.sReady {
+		busy = max64(busy, r)
+	}
+	for i := range m.vRegs {
+		busy = max64(busy, m.vRegs[i].writeReady)
+	}
+	return m.now >= busy
+}
+
+// sample records the per-cycle measurements: the (FU2, FU1, LD) state and
+// the data-queue occupancies.
+func (m *machine) sample() {
+	fu2 := m.now < m.fu2Busy
+	fu1 := m.now < m.fu1Busy
+	ld := m.bus.BusyAt(m.now)
+	m.states.Observe(sim.MakeState(fu2, fu1, ld))
+	m.avdqHist.Observe(m.avdq.Len())
+	m.vadqHist.Observe(m.vadq.Len())
+}
+
+func (m *machine) stall(who string) { m.stalls[who]++ }
+
+// storePressure reports whether either store address queue is at least
+// half full, at which point queued stores outrank new loads for the bus.
+func (m *machine) storePressure() bool {
+	return m.vsaq.Len()*2 >= m.vsaq.Cap() || m.ssaq.Len()*2 >= m.ssaq.Cap()
+}
+
+// dumpState summarizes machine state for deadlock diagnostics.
+func (m *machine) dumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pending=%v streamDone=%v ", m.hasPending, m.streamDone)
+	if m.hasPending {
+		fmt.Fprintf(&b, "pendingInst=%s ", m.pending.String())
+	}
+	for _, q := range [...]fmt.Stringer{m.apIQ, m.spIQ, m.vpIQ, m.avdq, m.vadq,
+		m.asdq, m.sadq, m.svdq, m.vsdq, m.saaq, m.ssaq, m.vsaq} {
+		fmt.Fprintf(&b, "%s ", q)
+	}
+	fmt.Fprintf(&b, "flushWait=%d storeActive=%v drains=%d", m.flushWaitSeq, m.storeActive, len(m.drains))
+	if u, ok := m.apIQ.Peek(m.now); ok {
+		fmt.Fprintf(&b, " apHead={%s %s}", u.kind, u.in.String())
+	}
+	if u, ok := m.spIQ.Peek(m.now); ok {
+		fmt.Fprintf(&b, " spHead={%s %s}", u.kind, u.in.String())
+	}
+	if u, ok := m.vpIQ.Peek(m.now); ok {
+		fmt.Fprintf(&b, " vpHead={%s %s}", u.kind, u.in.String())
+	}
+	return b.String()
+}

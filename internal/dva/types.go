@@ -1,0 +1,145 @@
+// Package dva implements the decoupled vector architecture of the paper's
+// §4: a fetch processor (FP) splits the instruction stream between an
+// address processor (AP), a scalar processor (SP) and a vector processor
+// (VP), which proceed asynchronously and communicate through architectural
+// queues. Stores are two-step (address queue + data queue) and performed
+// behind the AP's back in strict program order, which requires dynamic
+// memory disambiguation of loads against queued stores. The optional §7
+// bypass services a load identical to a queued store by copying the data
+// from the store data queue into the load data queue without touching
+// memory.
+package dva
+
+import (
+	"decvec/internal/disamb"
+	"decvec/internal/isa"
+)
+
+// uopKind distinguishes the operations that flow through the instruction
+// queues: ordinary instructions plus the QMOV pseudo-instructions the FP
+// fabricates. QMOVs are not part of the programmer-visible instruction set
+// (§4.1); they move data between an architectural queue and a register.
+type uopKind uint8
+
+const (
+	// uExec executes the embedded instruction on the owning processor.
+	uExec uopKind = iota
+	// uQMovAVtoV moves a vector from the AVDQ into a vector register (VP).
+	uQMovAVtoV
+	// uQMovVtoVA moves a vector register into the VADQ store data queue (VP).
+	uQMovVtoVA
+	// uQMovAStoS moves a scalar from the ASDQ into an S register (SP).
+	uQMovAStoS
+	// uQMovStoSA moves an S register into the SADQ store data queue (SP).
+	uQMovStoSA
+	// uQMovStoSV moves an S register into the SVDQ vector-operand queue (SP).
+	uQMovStoSV
+	// uQMovVStoS moves a reduction result from the VSDQ into an S register (SP).
+	uQMovVStoS
+	// uQMovStoSAA moves an S register into the SAAQ so the AP can consume it
+	// as an operand (SP).
+	uQMovStoSAA
+)
+
+var uopNames = [...]string{
+	uExec:       "exec",
+	uQMovAVtoV:  "qmov.av->v",
+	uQMovVtoVA:  "qmov.v->va",
+	uQMovAStoS:  "qmov.as->s",
+	uQMovStoSA:  "qmov.s->sa",
+	uQMovStoSV:  "qmov.s->sv",
+	uQMovVStoS:  "qmov.vs->s",
+	uQMovStoSAA: "qmov.s->saa",
+}
+
+func (k uopKind) String() string {
+	if int(k) < len(uopNames) {
+		return uopNames[k]
+	}
+	return "uop?"
+}
+
+// uop is one instruction-queue entry: a kind plus a copy of the originating
+// trace instruction (copied because trace streams reuse their buffers).
+type uop struct {
+	kind uopKind
+	in   isa.Inst
+}
+
+// vslot is one entry of a vector data queue (AVDQ or VADQ): a slot holds a
+// whole vector register's worth of data. readyAt is the cycle at which the
+// last element has arrived in the slot; until then the slot is reserved but
+// not consumable (the paper's "no chaining after a vector load": data cannot
+// be consumed from the AVDQ until the last element arrives from memory).
+type vslot struct {
+	seq     int64
+	vl      int64
+	readyAt int64
+	// bypassed marks slots filled by the bypass unit rather than memory.
+	bypassed bool
+}
+
+// sslot is one entry of a scalar data queue.
+type sslot struct {
+	seq     int64
+	readyAt int64
+}
+
+// storeAddr is one entry of a store address queue (SSAQ or VSAQ). The AP
+// enters the address as soon as the store issues; the store itself is
+// performed by the store engine when the matching data reaches the head of
+// the corresponding data queue (§4.2, the two-step store process).
+type storeAddr struct {
+	seq      int64
+	rng      disamb.Range
+	vl       int64 // 1 for scalar stores
+	isVector bool
+	inst     isa.Inst
+	// needsData is true when the data arrives through a data queue (S or V
+	// register data). False for A-register scalar stores, whose data the AP
+	// provides itself; then dataReadyAt bounds when the value exists.
+	needsData   bool
+	dataReadyAt int64
+}
+
+// vreg is the vector-register scoreboard entry (same semantics as the
+// reference simulator's).
+type vreg struct {
+	writeStart    int64
+	writeReady    int64
+	chainable     bool
+	readBusyUntil int64
+}
+
+// drain tracks an in-flight QMOV that is emptying the AVDQ head region.
+type drain struct {
+	seq    int64
+	doneAt int64
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// involvesA reports whether the instruction reads or writes an address
+// register, which routes it to the AP.
+func involvesA(in *isa.Inst) bool {
+	return in.Dst.Kind == isa.RegA || in.Src1.Kind == isa.RegA || in.Src2.Kind == isa.RegA
+}
+
+// countSSources counts S-register source operands (operands the AP must
+// receive through the SAAQ when the instruction executes there). For
+// stores, Dst is the data source and is not counted here.
+func countSSources(in *isa.Inst) int {
+	n := 0
+	if in.Src1.Kind == isa.RegS {
+		n++
+	}
+	if in.Src2.Kind == isa.RegS {
+		n++
+	}
+	return n
+}

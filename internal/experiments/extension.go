@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"sync"
+
+	"decvec/internal/ooo"
+	"decvec/internal/sim"
+	"decvec/internal/workload"
+)
+
+// ExtensionOOORow is one (program, latency) comparison between the
+// reference architecture, the decoupled architecture and out-of-order
+// execution with register renaming at several window sizes.
+type ExtensionOOORow struct {
+	Name    string
+	Latency int64
+	Ref     int64
+	Dva     int64
+	// Ooo holds cycles per window size, aligned with ExtensionOOOWindows.
+	Ooo []int64
+}
+
+// ExtensionOOOWindows are the issue-window sizes swept by the extension
+// study.
+var ExtensionOOOWindows = []int{4, 16, 64}
+
+// ExtensionOOOResult is the §8 future-work study: decoupling versus
+// out-of-order execution and register renaming.
+type ExtensionOOOResult struct {
+	Latencies []int64
+	Windows   []int
+	Rows      []ExtensionOOORow
+}
+
+// ExtensionOOO compares REF, DVA and OOO across latencies. The OOO machine
+// shares the reference datapath (two FUs, one port, no load chaining) and
+// issue bandwidth (one per cycle), differing only in its issue window and
+// physical-register renaming — the cleanest head-to-head the paper's §8
+// asks for.
+func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
+	if len(lats) == 0 {
+		lats = []int64{1, 30, 100}
+	}
+	progs := workload.Simulated()
+	var runs []struct {
+		arch Arch
+		cfg  sim.Config
+	}
+	for _, l := range lats {
+		cfg := sim.DefaultConfig(l)
+		runs = append(runs,
+			struct {
+				arch Arch
+				cfg  sim.Config
+			}{REF, cfg},
+			struct {
+				arch Arch
+				cfg  sim.Config
+			}{DVA, cfg})
+	}
+	if err := s.warm(progs, runs); err != nil {
+		return nil, err
+	}
+	res := &ExtensionOOOResult{Latencies: lats, Windows: ExtensionOOOWindows}
+
+	// The OOO runs are not suite-cached (different config type); they are
+	// computed here, in parallel per (program, latency, window).
+	type key struct {
+		prog string
+		lat  int64
+		w    int
+	}
+	oooCycles := make(map[key]int64)
+	var oooMu sync.Mutex
+	var jobs []func() error
+	for _, p := range progs {
+		for _, l := range lats {
+			for _, w := range ExtensionOOOWindows {
+				p, l, w := p, l, w
+				jobs = append(jobs, func() error {
+					cfg := ooo.DefaultConfig(l)
+					cfg.Window = w
+					cfg.PhysRegs = 4 * physFloor(w)
+					r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
+					if err != nil {
+						return err
+					}
+					oooMu.Lock()
+					oooCycles[key{p.Name, l, w}] = r.Cycles
+					oooMu.Unlock()
+					return nil
+				})
+			}
+		}
+	}
+	if err := parallel(jobs); err != nil {
+		return nil, err
+	}
+	for _, p := range progs {
+		for _, l := range lats {
+			rr, err := s.Run(p, REF, sim.DefaultConfig(l))
+			if err != nil {
+				return nil, err
+			}
+			rd, err := s.Run(p, DVA, sim.DefaultConfig(l))
+			if err != nil {
+				return nil, err
+			}
+			row := ExtensionOOORow{Name: p.Name, Latency: l, Ref: rr.Cycles, Dva: rd.Cycles}
+			for _, w := range ExtensionOOOWindows {
+				row.Ooo = append(row.Ooo, oooCycles[key{p.Name, l, w}])
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// physFloor sizes the physical register pool relative to the window with a
+// floor of the architectural count.
+func physFloor(w int) int {
+	if w < 8 {
+		return 8
+	}
+	return w
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 (program characteristics), Figure 1 (functional-unit
+// usage of the reference architecture), Figures 3-5 (execution time,
+// stall-cycle ratio and speedup across memory latencies), Figure 6 (AVDQ
+// occupancy distributions), Figure 7 (bypass configurations) and Figure 8
+// (memory-traffic reduction), plus the queue-sizing ablations discussed in
+// the paper's prose (§5-§7).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"decvec/internal/dva"
+	"decvec/internal/ideal"
+	"decvec/internal/ref"
+	"decvec/internal/sim"
+	"decvec/internal/trace"
+	"decvec/internal/workload"
+)
+
+// DefaultLatencies is the memory-latency sweep of Figures 3-5 and 7: the
+// paper plots 1 and every multiple of ten up to 100 cycles.
+var DefaultLatencies = []int64{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// Figure1Latencies are the four latencies of the Figure 1 state breakdown.
+var Figure1Latencies = []int64{1, 30, 70, 100}
+
+// Figure6Latencies are the three latencies of the Figure 6 histograms.
+var Figure6Latencies = []int64{1, 30, 100}
+
+// Arch selects a simulator.
+type Arch string
+
+// Architectures.
+const (
+	REF Arch = "REF" // the reference (coupled) vector architecture
+	DVA Arch = "DVA" // the decoupled vector architecture
+)
+
+// Suite runs simulations for the experiment drivers, caching results so
+// that figures sharing runs (3, 4 and 5 use identical sweeps) simulate each
+// configuration exactly once. A Suite is safe for concurrent use.
+type Suite struct {
+	// Scale is the trace scale factor (1.0 = default trace sizes).
+	Scale float64
+
+	mu    sync.Mutex
+	cache map[suiteKey]*sim.Result
+	ideal map[string]ideal.Bound
+}
+
+type suiteKey struct {
+	program string
+	arch    Arch
+	cfg     sim.Config
+}
+
+// NewSuite returns an empty suite at the given trace scale.
+func NewSuite(scale float64) *Suite {
+	if scale <= 0 {
+		scale = workload.DefaultScale
+	}
+	return &Suite{
+		Scale: scale,
+		cache: make(map[suiteKey]*sim.Result),
+		ideal: make(map[string]ideal.Bound),
+	}
+}
+
+// Run simulates program p on the given architecture and configuration,
+// returning a cached result when the identical run has been done before.
+func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	tr := p.CachedTrace(s.Scale)
+	var (
+		r   *sim.Result
+		err error
+	)
+	switch arch {
+	case REF:
+		r, err = ref.Run(tr, cfg)
+	case DVA:
+		r, err = dva.Run(tr, cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, p.Name, err)
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Ideal returns the five-resource lower bound for the program (§5).
+func (s *Suite) Ideal(p *workload.Program) ideal.Bound {
+	s.mu.Lock()
+	if b, ok := s.ideal[p.Name]; ok {
+		s.mu.Unlock()
+		return b
+	}
+	s.mu.Unlock()
+	b := ideal.Compute(p.CachedTrace(s.Scale))
+	s.mu.Lock()
+	s.ideal[p.Name] = b
+	s.mu.Unlock()
+	return b
+}
+
+// Stats returns the trace statistics for the program at the suite scale.
+func (s *Suite) Stats(p *workload.Program) *trace.Stats {
+	return trace.Collect(p.CachedTrace(s.Scale))
+}
+
+// parallel runs the jobs across the available CPUs and returns the first
+// error. Jobs must be independent; the Suite cache serializes internally.
+func parallel(jobs []func() error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan func() error)
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				errs <- job()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warm pre-runs all (program, arch, cfg) combinations in parallel so the
+// figure drivers can then read everything from cache sequentially.
+func (s *Suite) warm(programs []*workload.Program, runs []struct {
+	arch Arch
+	cfg  sim.Config
+}) error {
+	var jobs []func() error
+	for _, p := range programs {
+		for _, r := range runs {
+			p, r := p, r
+			jobs = append(jobs, func() error {
+				_, err := s.Run(p, r.arch, r.cfg)
+				return err
+			})
+		}
+	}
+	return parallel(jobs)
+}

@@ -1,0 +1,142 @@
+package ideal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"decvec/internal/isa"
+	"decvec/internal/trace"
+)
+
+func mkTrace(insts ...isa.Inst) *trace.Slice {
+	for i := range insts {
+		insts[i].Seq = int64(i)
+	}
+	return &trace.Slice{TraceName: "t", Insts: insts}
+}
+
+func TestBalance(t *testing.T) {
+	cases := []struct {
+		any, fu2Only, wantFU1, wantFU2 int64
+	}{
+		{10, 0, 5, 5},
+		{3, 10, 3, 10},
+		{11, 1, 6, 6},
+		{0, 0, 0, 0},
+		{0, 7, 0, 7},
+		{1, 0, 1, 0},
+	}
+	for _, c := range cases {
+		fu1, fu2 := balance(c.any, c.fu2Only)
+		if fu1+fu2 != c.any+c.fu2Only {
+			t.Errorf("balance(%d,%d) loses work: %d+%d", c.any, c.fu2Only, fu1, fu2)
+		}
+		if fu1 != c.wantFU1 || fu2 != c.wantFU2 {
+			t.Errorf("balance(%d,%d) = (%d,%d), want (%d,%d)", c.any, c.fu2Only, fu1, fu2, c.wantFU1, c.wantFU2)
+		}
+	}
+}
+
+func TestBalanceProperties_Quick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		any, fu2Only := int64(a), int64(b)
+		fu1, fu2 := balance(any, fu2Only)
+		if fu1+fu2 != any+fu2Only || fu2 < fu2Only || fu1 < 0 {
+			return false
+		}
+		// The max must be minimal: it cannot be below ceil(total/2) nor
+		// below the pinned FU2 work.
+		maxLoad := fu1
+		if fu2 > maxLoad {
+			maxLoad = fu2
+		}
+		lower := (any + fu2Only + 1) / 2
+		if fu2Only > lower {
+			lower = fu2Only
+		}
+		return maxLoad == lower
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeMemoryBound(t *testing.T) {
+	// Three vector loads of 32 elements and one add of 32: the port (96)
+	// dominates the balanced FU work (16/16).
+	b := Compute(mkTrace(
+		isa.Inst{Class: isa.ClassVectorLoad, Dst: isa.V(0), VL: 32, Stride: 1},
+		isa.Inst{Class: isa.ClassVectorLoad, Dst: isa.V(1), VL: 32, Stride: 1},
+		isa.Inst{Class: isa.ClassVectorLoad, Dst: isa.V(2), VL: 32, Stride: 1},
+		isa.Inst{Class: isa.ClassVectorALU, Op: isa.OpAdd, Dst: isa.V(3), Src1: isa.V(0), VL: 32},
+	))
+	if b.MemPort != 96 {
+		t.Errorf("MemPort = %d", b.MemPort)
+	}
+	if b.FU1 != 16 || b.FU2 != 16 {
+		t.Errorf("FU split = %d/%d", b.FU1, b.FU2)
+	}
+	if b.Cycles != 96 {
+		t.Errorf("Cycles = %d", b.Cycles)
+	}
+}
+
+func TestComputeFUBound(t *testing.T) {
+	// Four muls (FU2-only) of 32 vs one 32-element load: FU2 = 128 wins.
+	insts := []isa.Inst{
+		{Class: isa.ClassVectorLoad, Dst: isa.V(0), VL: 32, Stride: 1},
+	}
+	for i := 0; i < 4; i++ {
+		insts = append(insts, isa.Inst{Class: isa.ClassVectorALU, Op: isa.OpMul, Dst: isa.V(1), Src1: isa.V(0), VL: 32})
+	}
+	b := Compute(mkTrace(insts...))
+	if b.FU2 != 128 || b.FU1 != 0 {
+		t.Errorf("FU = %d/%d", b.FU1, b.FU2)
+	}
+	if b.Cycles != 128 {
+		t.Errorf("Cycles = %d", b.Cycles)
+	}
+}
+
+func TestComputeScalarBound(t *testing.T) {
+	var insts []isa.Inst
+	for i := 0; i < 50; i++ {
+		insts = append(insts, isa.Inst{Class: isa.ClassScalarALU, Op: isa.OpAdd, Dst: isa.S(0)})
+	}
+	b := Compute(mkTrace(insts...))
+	if b.ScalarProc != 50 || b.Cycles != 50 {
+		t.Errorf("ScalarProc=%d Cycles=%d", b.ScalarProc, b.Cycles)
+	}
+}
+
+func TestComputeScalarMemoryAccounting(t *testing.T) {
+	b := Compute(mkTrace(
+		isa.Inst{Class: isa.ClassScalarLoad, Dst: isa.S(0), Base: 0x10},
+		isa.Inst{Class: isa.ClassScalarStore, Dst: isa.S(0), Base: 0x18},
+	))
+	// Loads are charged to the cache; stores also occupy the port.
+	if b.ScalarCache != 2 || b.MemPort != 1 || b.ScalarProc != 2 {
+		t.Errorf("got %+v", b)
+	}
+}
+
+func TestComputeCountsReduceAndGather(t *testing.T) {
+	b := Compute(mkTrace(
+		isa.Inst{Class: isa.ClassReduce, Op: isa.OpAdd, Dst: isa.S(0), Src1: isa.V(0), VL: 16},
+		isa.Inst{Class: isa.ClassGather, Dst: isa.V(1), VL: 16, Stride: 1},
+		isa.Inst{Class: isa.ClassScatter, Dst: isa.V(1), VL: 16, Stride: 1},
+	))
+	if b.MemPort != 32 {
+		t.Errorf("MemPort = %d", b.MemPort)
+	}
+	if b.FU1 != 8 || b.FU2 != 8 {
+		t.Errorf("reduce not balanced: %d/%d", b.FU1, b.FU2)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	b := Compute(mkTrace())
+	if b.Cycles != 0 {
+		t.Errorf("Cycles = %d", b.Cycles)
+	}
+}

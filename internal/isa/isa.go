@@ -1,0 +1,391 @@
+// Package isa defines the vector instruction set architecture shared by the
+// reference and decoupled simulators.
+//
+// The ISA is modeled on the Convex C3400 as described in the paper
+// "Decoupled Vector Architectures" (Espasa & Valero, HPCA 1996): eight
+// address registers (A0-A7), eight scalar registers (S0-S7), eight vector
+// registers (V0-V7) of MaxVL 64-bit elements each, a vector length register
+// and a vector stride register. Vector registers are grouped in banks of
+// two, each bank sharing two read ports and one write port; the compiler
+// (here, the trace generator) allocates registers so that no port conflicts
+// arise, as the paper assumes.
+package isa
+
+import "fmt"
+
+// MaxVL is the number of 64-bit elements held by one vector register.
+const MaxVL = 128
+
+// NumARegs, NumSRegs and NumVRegs are the sizes of the three register files.
+const (
+	NumARegs = 8
+	NumSRegs = 8
+	NumVRegs = 8
+)
+
+// RegKind distinguishes the three register files.
+type RegKind uint8
+
+// Register file kinds.
+const (
+	RegNone RegKind = iota // no register (unused operand slot)
+	RegA                   // address register, lives in the AP
+	RegS                   // scalar register, lives in the SP
+	RegV                   // vector register, lives in the VP
+)
+
+// String returns the file prefix letter ("A", "S", "V") or "-" for RegNone.
+func (k RegKind) String() string {
+	switch k {
+	case RegA:
+		return "A"
+	case RegS:
+		return "S"
+	case RegV:
+		return "V"
+	default:
+		return "-"
+	}
+}
+
+// Reg names one architectural register.
+type Reg struct {
+	Kind RegKind
+	Idx  uint8
+}
+
+// Common register constructors.
+func A(i int) Reg { return Reg{RegA, uint8(i)} }
+func S(i int) Reg { return Reg{RegS, uint8(i)} }
+func V(i int) Reg { return Reg{RegV, uint8(i)} }
+
+// None is the zero Reg, meaning "operand not used".
+var None = Reg{}
+
+// Valid reports whether r names an existing register.
+func (r Reg) Valid() bool {
+	switch r.Kind {
+	case RegA:
+		return r.Idx < NumARegs
+	case RegS:
+		return r.Idx < NumSRegs
+	case RegV:
+		return r.Idx < NumVRegs
+	default:
+		return false
+	}
+}
+
+// IsVector reports whether r is a vector register.
+func (r Reg) IsVector() bool { return r.Kind == RegV }
+
+// Bank returns the register-bank index of a vector register. Every two
+// vector registers share a bank (V0/V1 -> bank 0, V2/V3 -> bank 1, ...).
+// Bank panics if r is not a vector register.
+func (r Reg) Bank() int {
+	if r.Kind != RegV {
+		panic("isa: Bank on non-vector register " + r.String())
+	}
+	return int(r.Idx) / 2
+}
+
+// String returns the assembly name of the register, e.g. "V3".
+func (r Reg) String() string {
+	if r.Kind == RegNone {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", r.Kind, r.Idx)
+}
+
+// Class is the coarse instruction category used for routing by the fetch
+// processor and for resource selection by the simulators.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop         Class = iota
+	ClassScalarALU         // A/S-register arithmetic, one cycle
+	ClassScalarLoad        // load into an A or S register (through scalar cache)
+	ClassScalarStore       // store from an A or S register
+	ClassVectorALU         // element-wise vector operation
+	ClassVectorLoad        // strided vector load (stride may be 1)
+	ClassVectorStore       // strided vector store
+	ClassGather            // indexed vector load
+	ClassScatter           // indexed vector store
+	ClassReduce            // vector reduction producing a scalar (into an S reg)
+	ClassVSetVL            // set the vector length register
+	ClassVSetVS            // set the vector stride register
+	ClassBranch            // conditional or unconditional control transfer
+	numClasses
+)
+
+var classNames = [...]string{
+	ClassNop:         "nop",
+	ClassScalarALU:   "salu",
+	ClassScalarLoad:  "sload",
+	ClassScalarStore: "sstore",
+	ClassVectorALU:   "valu",
+	ClassVectorLoad:  "vload",
+	ClassVectorStore: "vstore",
+	ClassGather:      "gather",
+	ClassScatter:     "scatter",
+	ClassReduce:      "vreduce",
+	ClassVSetVL:      "vsetvl",
+	ClassVSetVS:      "vsetvs",
+	ClassBranch:      "branch",
+}
+
+// String returns the mnemonic stem for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMemory reports whether instructions of this class access memory (and are
+// therefore routed to the address processor in the DVA).
+func (c Class) IsMemory() bool {
+	switch c {
+	case ClassScalarLoad, ClassScalarStore, ClassVectorLoad, ClassVectorStore,
+		ClassGather, ClassScatter:
+		return true
+	}
+	return false
+}
+
+// IsVectorMemory reports whether the class is a vector memory access.
+func (c Class) IsVectorMemory() bool {
+	switch c {
+	case ClassVectorLoad, ClassVectorStore, ClassGather, ClassScatter:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the class reads memory.
+func (c Class) IsLoad() bool {
+	switch c {
+	case ClassScalarLoad, ClassVectorLoad, ClassGather:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the class writes memory.
+func (c Class) IsStore() bool {
+	switch c {
+	case ClassScalarStore, ClassVectorStore, ClassScatter:
+		return true
+	}
+	return false
+}
+
+// IsVectorCompute reports whether the class executes on a vector functional
+// unit (FU1 or FU2).
+func (c Class) IsVectorCompute() bool {
+	return c == ClassVectorALU || c == ClassReduce
+}
+
+// Opcode identifies the detailed operation of an ALU-class instruction. Its
+// main architectural consequence is functional-unit eligibility: FU1 is a
+// restricted unit that executes everything except multiplication, division
+// and square root; FU2 is general purpose.
+type Opcode uint8
+
+// Opcodes.
+const (
+	OpNone Opcode = iota
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShift
+	OpCmp
+	OpMin
+	OpMax
+	OpMul
+	OpDiv
+	OpSqrt
+	OpMulAdd // treated as FU2-only, like multiplication
+	numOpcodes
+)
+
+var opcodeNames = [...]string{
+	OpNone:   "none",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpShift:  "shift",
+	OpCmp:    "cmp",
+	OpMin:    "min",
+	OpMax:    "max",
+	OpMul:    "mul",
+	OpDiv:    "div",
+	OpSqrt:   "sqrt",
+	OpMulAdd: "muladd",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// FU1Capable reports whether the restricted functional unit FU1 can execute
+// the opcode. FU1 executes all vector instructions except multiplication,
+// division and square root.
+func (o Opcode) FU1Capable() bool {
+	switch o {
+	case OpMul, OpDiv, OpSqrt, OpMulAdd:
+		return false
+	}
+	return true
+}
+
+// ElemSize is the access granularity of every memory reference, in bytes
+// (the paper's architecture works on 64-bit elements).
+const ElemSize = 8
+
+// Inst is one dynamic instruction of a trace. The trace generator fills in
+// the vector length, stride and base address at generation time, mirroring
+// the information Dixie extracted from real executions (basic blocks, VL
+// values, VS values, memory reference addresses).
+type Inst struct {
+	// Seq is the dynamic sequence number, dense from 0 within a trace.
+	Seq int64
+	// Class routes the instruction; Op refines ALU/reduce classes.
+	Class Class
+	Op    Opcode
+
+	// Dst is the destination register. For stores it is the data source
+	// register (there is no written register). For branches it is None.
+	Dst Reg
+	// Src1, Src2 are register sources; either may be None.
+	Src1, Src2 Reg
+
+	// VL is the vector length of a vector instruction (1..MaxVL). Zero for
+	// scalar instructions. For ClassVSetVL it is the value being set.
+	VL int
+	// Stride is the element stride of a strided vector memory reference, in
+	// elements. For ClassVSetVS it is the value being set.
+	Stride int64
+	// Base is the base byte address of a memory reference.
+	Base uint64
+
+	// Spill marks trace-generator-inserted register spill traffic. The
+	// simulators ignore it; statistics use it to report spill fractions.
+	Spill bool
+	// BBEnd marks the last instruction of a basic block, used only for the
+	// basic-block counts of Table 1.
+	BBEnd bool
+}
+
+// IsVector reports whether the instruction carries a vector length.
+func (in *Inst) IsVector() bool {
+	switch in.Class {
+	case ClassVectorALU, ClassVectorLoad, ClassVectorStore, ClassGather,
+		ClassScatter, ClassReduce:
+		return true
+	}
+	return false
+}
+
+// Ops returns the number of architectural operations the instruction
+// performs: VL for vector instructions, 1 otherwise (Table 1 distinguishes
+// vector instructions from vector operations this way).
+func (in *Inst) Ops() int64 {
+	if in.IsVector() {
+		return int64(in.VL)
+	}
+	return 1
+}
+
+// String formats the instruction for debug output.
+func (in *Inst) String() string {
+	switch in.Class {
+	case ClassVectorLoad, ClassGather:
+		return fmt.Sprintf("#%d %s %s, [%#x + %d*i] vl=%d", in.Seq, in.Class, in.Dst, in.Base, in.Stride, in.VL)
+	case ClassVectorStore, ClassScatter:
+		return fmt.Sprintf("#%d %s [%#x + %d*i], %s vl=%d", in.Seq, in.Class, in.Base, in.Stride, in.Dst, in.VL)
+	case ClassScalarLoad:
+		return fmt.Sprintf("#%d %s %s, [%#x]", in.Seq, in.Class, in.Dst, in.Base)
+	case ClassScalarStore:
+		return fmt.Sprintf("#%d %s [%#x], %s", in.Seq, in.Class, in.Base, in.Dst)
+	case ClassVectorALU, ClassReduce:
+		return fmt.Sprintf("#%d %s.%s %s, %s, %s vl=%d", in.Seq, in.Class, in.Op, in.Dst, in.Src1, in.Src2, in.VL)
+	case ClassVSetVL:
+		return fmt.Sprintf("#%d vsetvl %d", in.Seq, in.VL)
+	case ClassVSetVS:
+		return fmt.Sprintf("#%d vsetvs %d", in.Seq, in.Stride)
+	default:
+		return fmt.Sprintf("#%d %s.%s %s, %s, %s", in.Seq, in.Class, in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// Validate checks internal consistency of the instruction and returns a
+// descriptive error for the first violated invariant.
+func (in *Inst) Validate() error {
+	check := func(cond bool, format string, args ...any) error {
+		if !cond {
+			return fmt.Errorf("isa: invalid %s: %s", in, fmt.Sprintf(format, args...))
+		}
+		return nil
+	}
+	if in.IsVector() {
+		if err := check(in.VL >= 1 && in.VL <= MaxVL, "vector length %d out of [1,%d]", in.VL, MaxVL); err != nil {
+			return err
+		}
+	} else if in.Class != ClassVSetVL {
+		if err := check(in.VL == 0, "non-vector instruction carries VL=%d", in.VL); err != nil {
+			return err
+		}
+	}
+	for _, r := range [...]Reg{in.Dst, in.Src1, in.Src2} {
+		if r.Kind != RegNone {
+			if err := check(r.Valid(), "bad register %v", r); err != nil {
+				return err
+			}
+		}
+	}
+	switch in.Class {
+	case ClassVectorALU, ClassReduce:
+		if err := check(in.Op != OpNone, "ALU instruction without opcode"); err != nil {
+			return err
+		}
+		if in.Class == ClassReduce {
+			if err := check(in.Dst.Kind == RegS, "reduction must target an S register, got %v", in.Dst); err != nil {
+				return err
+			}
+			if err := check(in.Src1.Kind == RegV, "reduction must read a V register, got %v", in.Src1); err != nil {
+				return err
+			}
+		} else {
+			if err := check(in.Dst.Kind == RegV, "vector ALU must target a V register, got %v", in.Dst); err != nil {
+				return err
+			}
+		}
+	case ClassVectorLoad, ClassGather:
+		if err := check(in.Dst.Kind == RegV, "vector load must target a V register, got %v", in.Dst); err != nil {
+			return err
+		}
+	case ClassVectorStore, ClassScatter:
+		if err := check(in.Dst.Kind == RegV, "vector store must read a V register, got %v", in.Dst); err != nil {
+			return err
+		}
+	case ClassScalarLoad:
+		if err := check(in.Dst.Kind == RegA || in.Dst.Kind == RegS, "scalar load must target A or S, got %v", in.Dst); err != nil {
+			return err
+		}
+	case ClassScalarStore:
+		if err := check(in.Dst.Kind == RegA || in.Dst.Kind == RegS, "scalar store must read A or S, got %v", in.Dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

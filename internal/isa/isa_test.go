@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegConstructors(t *testing.T) {
+	cases := []struct {
+		reg  Reg
+		kind RegKind
+		idx  uint8
+		str  string
+	}{
+		{A(0), RegA, 0, "A0"},
+		{A(7), RegA, 7, "A7"},
+		{S(3), RegS, 3, "S3"},
+		{V(5), RegV, 5, "V5"},
+	}
+	for _, c := range cases {
+		if c.reg.Kind != c.kind || c.reg.Idx != c.idx {
+			t.Errorf("%s: got kind=%v idx=%d", c.str, c.reg.Kind, c.reg.Idx)
+		}
+		if got := c.reg.String(); got != c.str {
+			t.Errorf("String: got %q want %q", got, c.str)
+		}
+		if !c.reg.Valid() {
+			t.Errorf("%s should be valid", c.str)
+		}
+	}
+}
+
+func TestRegValidity(t *testing.T) {
+	if None.Valid() {
+		t.Error("None must not be valid")
+	}
+	if None.String() != "-" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	for _, bad := range []Reg{A(8), S(8), V(8), {Kind: 99, Idx: 0}} {
+		if bad.Valid() {
+			t.Errorf("%v should be invalid", bad)
+		}
+	}
+}
+
+func TestRegBank(t *testing.T) {
+	// Every two vector registers share a bank.
+	wantBanks := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for i, want := range wantBanks {
+		if got := V(i).Bank(); got != want {
+			t.Errorf("V%d.Bank() = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRegBankPanicsOnScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bank on an S register must panic")
+		}
+	}()
+	_ = S(0).Bank()
+}
+
+func TestIsVector(t *testing.T) {
+	if !V(0).IsVector() || A(0).IsVector() || S(0).IsVector() {
+		t.Error("IsVector misclassifies")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                                      Class
+		mem, vmem, load, store, vcomp, isaVect bool
+	}{
+		{ClassNop, false, false, false, false, false, false},
+		{ClassScalarALU, false, false, false, false, false, false},
+		{ClassScalarLoad, true, false, true, false, false, false},
+		{ClassScalarStore, true, false, false, true, false, false},
+		{ClassVectorALU, false, false, false, false, true, true},
+		{ClassVectorLoad, true, true, true, false, false, true},
+		{ClassVectorStore, true, true, false, true, false, true},
+		{ClassGather, true, true, true, false, false, true},
+		{ClassScatter, true, true, false, true, false, true},
+		{ClassReduce, false, false, false, false, true, true},
+		{ClassVSetVL, false, false, false, false, false, false},
+		{ClassVSetVS, false, false, false, false, false, false},
+		{ClassBranch, false, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.c.IsMemory() != c.mem {
+			t.Errorf("%s.IsMemory() = %v", c.c, !c.mem)
+		}
+		if c.c.IsVectorMemory() != c.vmem {
+			t.Errorf("%s.IsVectorMemory() = %v", c.c, !c.vmem)
+		}
+		if c.c.IsLoad() != c.load {
+			t.Errorf("%s.IsLoad() = %v", c.c, !c.load)
+		}
+		if c.c.IsStore() != c.store {
+			t.Errorf("%s.IsStore() = %v", c.c, !c.store)
+		}
+		if c.c.IsVectorCompute() != c.vcomp {
+			t.Errorf("%s.IsVectorCompute() = %v", c.c, !c.vcomp)
+		}
+		in := Inst{Class: c.c}
+		if in.IsVector() != c.isaVect {
+			t.Errorf("Inst{%s}.IsVector() = %v", c.c, !c.isaVect)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassVectorLoad.String() != "vload" {
+		t.Errorf("got %q", ClassVectorLoad.String())
+	}
+	if !strings.Contains(Class(200).String(), "200") {
+		t.Errorf("unknown class should render its number, got %q", Class(200).String())
+	}
+}
+
+func TestOpcodeFU1Capability(t *testing.T) {
+	// FU1 executes everything except multiplication, division and sqrt.
+	fu2Only := map[Opcode]bool{OpMul: true, OpDiv: true, OpSqrt: true, OpMulAdd: true}
+	for op := OpNone; op < numOpcodes; op++ {
+		want := !fu2Only[op]
+		if got := op.FU1Capable(); got != want {
+			t.Errorf("%s.FU1Capable() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	if OpMul.String() != "mul" || OpSqrt.String() != "sqrt" {
+		t.Error("opcode names wrong")
+	}
+	if !strings.Contains(Opcode(250).String(), "250") {
+		t.Error("unknown opcode should render its number")
+	}
+}
+
+func TestInstOps(t *testing.T) {
+	v := Inst{Class: ClassVectorALU, VL: 64}
+	if v.Ops() != 64 {
+		t.Errorf("vector Ops() = %d", v.Ops())
+	}
+	s := Inst{Class: ClassScalarALU}
+	if s.Ops() != 1 {
+		t.Errorf("scalar Ops() = %d", s.Ops())
+	}
+}
+
+func validVectorAdd() Inst {
+	return Inst{Class: ClassVectorALU, Op: OpAdd, Dst: V(0), Src1: V(1), Src2: V(2), VL: 16}
+}
+
+func TestInstValidateAccepts(t *testing.T) {
+	good := []Inst{
+		validVectorAdd(),
+		{Class: ClassVectorLoad, Dst: V(0), Src1: A(1), VL: 128, Stride: 1},
+		{Class: ClassVectorStore, Dst: V(3), Src1: A(1), VL: 1, Stride: -2},
+		{Class: ClassScalarLoad, Dst: S(0), Src1: A(1)},
+		{Class: ClassScalarLoad, Dst: A(5), Src1: A(1)},
+		{Class: ClassScalarStore, Dst: S(2)},
+		{Class: ClassReduce, Op: OpAdd, Dst: S(1), Src1: V(2), VL: 8},
+		{Class: ClassVSetVL, VL: 64},
+		{Class: ClassVSetVS, Stride: 4},
+		{Class: ClassBranch, Op: OpCmp, Src1: A(0)},
+		{Class: ClassGather, Dst: V(1), Src1: A(2), VL: 32},
+	}
+	for i, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("case %d: unexpected error: %v", i, err)
+		}
+	}
+}
+
+func TestInstValidateRejects(t *testing.T) {
+	bad := []Inst{
+		{Class: ClassVectorALU, Op: OpAdd, Dst: V(0), VL: 0},              // VL out of range
+		{Class: ClassVectorALU, Op: OpAdd, Dst: V(0), VL: MaxVL + 1},      // VL too big
+		{Class: ClassScalarALU, Op: OpAdd, Dst: S(0), VL: 7},              // scalar with VL
+		{Class: ClassVectorALU, Op: OpNone, Dst: V(0), VL: 4},             // missing opcode
+		{Class: ClassVectorALU, Op: OpAdd, Dst: S(0), VL: 4},              // wrong dst file
+		{Class: ClassReduce, Op: OpAdd, Dst: V(0), Src1: V(1), VL: 4},     // reduce to V
+		{Class: ClassReduce, Op: OpAdd, Dst: S(0), Src1: S(1), VL: 4},     // reduce from S
+		{Class: ClassVectorLoad, Dst: S(0), VL: 4},                        // load to S
+		{Class: ClassVectorStore, Dst: A(0), VL: 4},                       // store from A
+		{Class: ClassScalarLoad, Dst: V(0)},                               // scalar load to V
+		{Class: ClassScalarStore, Dst: V(0)},                              // scalar store from V
+		{Class: ClassVectorALU, Op: OpAdd, Dst: V(0), Src1: V(9), VL: 4},  // bad register index
+		{Class: ClassVectorALU, Op: OpAdd, Dst: V(0), Src1: A(12), VL: 4}, // bad A index
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d (%s): expected validation error", i, in.String())
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []string
+	}{
+		{Inst{Seq: 7, Class: ClassVectorLoad, Dst: V(2), Base: 0x100, Stride: 2, VL: 8}, []string{"#7", "vload", "V2", "0x100", "vl=8"}},
+		{Inst{Class: ClassVectorStore, Dst: V(1), Base: 0x80, VL: 4}, []string{"vstore", "V1", "0x80"}},
+		{Inst{Class: ClassVectorALU, Op: OpMul, Dst: V(0), Src1: V(1), Src2: S(2), VL: 16}, []string{"valu.mul", "V0", "V1", "S2"}},
+		{Inst{Class: ClassVSetVL, VL: 32}, []string{"vsetvl 32"}},
+		{Inst{Class: ClassVSetVS, Stride: -4}, []string{"vsetvs -4"}},
+		{Inst{Class: ClassScalarLoad, Dst: S(4), Base: 0x20}, []string{"sload", "S4", "0x20"}},
+		{Inst{Class: ClassScalarStore, Dst: S(4), Base: 0x28}, []string{"sstore", "0x28", "S4"}},
+		{Inst{Class: ClassBranch, Op: OpCmp, Src1: A(0)}, []string{"branch", "A0"}},
+	}
+	for _, c := range cases {
+		got := c.in.String()
+		for _, w := range c.want {
+			if !strings.Contains(got, w) {
+				t.Errorf("String() = %q, missing %q", got, w)
+			}
+		}
+	}
+}
+
+func TestMakeStateRoundTrip_Quick(t *testing.T) {
+	// Property: a register constructed from any small index is valid and
+	// round-trips through its string name.
+	f := func(n uint8) bool {
+		i := int(n % NumVRegs)
+		r := V(i)
+		return r.Valid() && r.Bank() == i/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

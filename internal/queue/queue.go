@@ -1,0 +1,179 @@
+// Package queue provides the bounded FIFO queues that connect the
+// processors of the decoupled vector architecture.
+//
+// Queues carry cycle-visibility semantics: an entry pushed at cycle c
+// becomes visible to the consumer at cycle c+1. This models the one-cycle
+// transfer through an architectural queue and, just as importantly, makes
+// the simulation independent of the order in which processors are stepped
+// within a cycle.
+package queue
+
+import "fmt"
+
+// entry wraps a queued value with the cycle at which it becomes visible.
+type entry[T any] struct {
+	val     T
+	visible int64
+}
+
+// Q is a bounded FIFO of T with cycle visibility, backed by a fixed ring
+// buffer (hardware queues do not reallocate). The zero value is not usable;
+// create queues with New.
+type Q[T any] struct {
+	name string
+	ring []entry[T]
+	head int
+	n    int
+
+	pushes int64
+	pops   int64
+	// peakLen is the maximum occupancy ever observed.
+	peakLen int
+}
+
+// New returns an empty queue with the given name (for diagnostics) and
+// capacity. Capacity must be positive.
+func New[T any](name string, capacity int) *Q[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: non-positive capacity %d for %s", capacity, name))
+	}
+	return &Q[T]{name: name, ring: make([]entry[T], capacity)}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Q[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity in entries.
+func (q *Q[T]) Cap() int { return len(q.ring) }
+
+// Len returns the current number of entries, visible or not.
+func (q *Q[T]) Len() int { return q.n }
+
+// Full reports whether a push would fail.
+func (q *Q[T]) Full() bool { return q.n >= len(q.ring) }
+
+// Empty reports whether the queue holds no entries at all.
+func (q *Q[T]) Empty() bool { return q.n == 0 }
+
+// at returns a pointer to the i-th entry (0 = head) without bounds checks
+// beyond the ring arithmetic; callers validate i against q.n.
+func (q *Q[T]) at(i int) *entry[T] {
+	return &q.ring[(q.head+i)%len(q.ring)]
+}
+
+// Push appends v, visible from cycle now+1. It reports whether the push
+// succeeded; it fails (returning false) when the queue is full.
+func (q *Q[T]) Push(now int64, v T) bool {
+	if q.Full() {
+		return false
+	}
+	*q.at(q.n) = entry[T]{val: v, visible: now + 1}
+	q.n++
+	q.pushes++
+	if q.n > q.peakLen {
+		q.peakLen = q.n
+	}
+	return true
+}
+
+// CanPop reports whether the head entry exists and is visible at cycle now.
+func (q *Q[T]) CanPop(now int64) bool {
+	return q.n > 0 && q.at(0).visible <= now
+}
+
+// Peek returns the head entry without removing it. ok is false when the
+// queue is empty or the head is not yet visible at cycle now.
+func (q *Q[T]) Peek(now int64) (v T, ok bool) {
+	if !q.CanPop(now) {
+		var zero T
+		return zero, false
+	}
+	return q.at(0).val, true
+}
+
+// PeekAt returns the i-th entry (0 = head) if it exists and is visible.
+func (q *Q[T]) PeekAt(now int64, i int) (v T, ok bool) {
+	if i < 0 || i >= q.n || q.at(i).visible > now {
+		var zero T
+		return zero, false
+	}
+	return q.at(i).val, true
+}
+
+// VisibleLen returns how many entries are visible at cycle now. Because
+// visibility is monotone in push order, the visible entries are always a
+// prefix of the queue.
+func (q *Q[T]) VisibleLen(now int64) int {
+	for i := 0; i < q.n; i++ {
+		if q.at(i).visible > now {
+			return i
+		}
+	}
+	return q.n
+}
+
+// Pop removes and returns the head entry. ok is false when the queue is
+// empty or the head is not yet visible at cycle now.
+func (q *Q[T]) Pop(now int64) (v T, ok bool) {
+	if !q.CanPop(now) {
+		var zero T
+		return zero, false
+	}
+	e := q.at(0)
+	v = e.val
+	var zero T
+	e.val = zero // release references for the garbage collector
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	q.pops++
+	return v, true
+}
+
+// Head returns a pointer to the head entry's value for in-place mutation
+// (used by multi-cycle operations that update queue-resident state). ok is
+// false when the queue is empty or the head is not visible at cycle now.
+func (q *Q[T]) Head(now int64) (v *T, ok bool) {
+	if !q.CanPop(now) {
+		return nil, false
+	}
+	return &q.at(0).val, true
+}
+
+// All calls fn for every entry visible at cycle now, oldest first, stopping
+// early if fn returns false.
+func (q *Q[T]) All(now int64, fn func(v *T) bool) {
+	for i := 0; i < q.n; i++ {
+		e := q.at(i)
+		if e.visible > now {
+			return
+		}
+		if !fn(&e.val) {
+			return
+		}
+	}
+}
+
+// Pushes returns the lifetime number of successful pushes.
+func (q *Q[T]) Pushes() int64 { return q.pushes }
+
+// Pops returns the lifetime number of pops.
+func (q *Q[T]) Pops() int64 { return q.pops }
+
+// PeakLen returns the maximum occupancy ever observed.
+func (q *Q[T]) PeakLen() int { return q.peakLen }
+
+// Reset empties the queue and clears its statistics.
+func (q *Q[T]) Reset() {
+	var zero entry[T]
+	for i := range q.ring {
+		q.ring[i] = zero
+	}
+	q.head, q.n = 0, 0
+	q.pushes, q.pops = 0, 0
+	q.peakLen = 0
+}
+
+// String summarizes the queue state for diagnostics.
+func (q *Q[T]) String() string {
+	return fmt.Sprintf("%s[%d/%d]", q.name, q.n, len(q.ring))
+}

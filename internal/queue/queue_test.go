@@ -1,0 +1,224 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New[int]("bad", 0)
+}
+
+func TestPushPopVisibility(t *testing.T) {
+	q := New[int]("q", 4)
+	if !q.Push(10, 42) {
+		t.Fatal("push failed")
+	}
+	// Not visible in the same cycle.
+	if _, ok := q.Pop(10); ok {
+		t.Fatal("entry visible at push cycle")
+	}
+	if q.CanPop(10) {
+		t.Fatal("CanPop true at push cycle")
+	}
+	// Visible the next cycle.
+	v, ok := q.Pop(11)
+	if !ok || v != 42 {
+		t.Fatalf("Pop = %v, %v", v, ok)
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestCapacityAndFull(t *testing.T) {
+	q := New[int]("q", 2)
+	if !q.Push(0, 1) || !q.Push(0, 2) {
+		t.Fatal("pushes failed")
+	}
+	if !q.Full() {
+		t.Fatal("queue should be full")
+	}
+	if q.Push(0, 3) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if q.Len() != 2 || q.Cap() != 2 {
+		t.Fatalf("Len=%d Cap=%d", q.Len(), q.Cap())
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int]("q", 8)
+	for i := 0; i < 8; i++ {
+		q.Push(int64(i), i)
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.Pop(100)
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	q := New[string]("q", 2)
+	q.Push(0, "a")
+	if v, ok := q.Peek(1); !ok || v != "a" {
+		t.Fatalf("Peek = %q, %v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed")
+	}
+}
+
+func TestPeekAt(t *testing.T) {
+	q := New[int]("q", 4)
+	q.Push(0, 10)
+	q.Push(0, 20)
+	q.Push(5, 30) // visible only from cycle 6
+	if v, ok := q.PeekAt(1, 0); !ok || v != 10 {
+		t.Fatalf("PeekAt(1,0) = %v, %v", v, ok)
+	}
+	if v, ok := q.PeekAt(1, 1); !ok || v != 20 {
+		t.Fatalf("PeekAt(1,1) = %v, %v", v, ok)
+	}
+	if _, ok := q.PeekAt(1, 2); ok {
+		t.Fatal("entry pushed at 5 visible at 1")
+	}
+	if v, ok := q.PeekAt(6, 2); !ok || v != 30 {
+		t.Fatalf("PeekAt(6,2) = %v, %v", v, ok)
+	}
+	if _, ok := q.PeekAt(6, 3); ok {
+		t.Fatal("out-of-range index")
+	}
+	if _, ok := q.PeekAt(6, -1); ok {
+		t.Fatal("negative index")
+	}
+}
+
+func TestVisibleLen(t *testing.T) {
+	q := New[int]("q", 4)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Push(3, 3)
+	if got := q.VisibleLen(1); got != 2 {
+		t.Fatalf("VisibleLen(1) = %d", got)
+	}
+	if got := q.VisibleLen(4); got != 3 {
+		t.Fatalf("VisibleLen(4) = %d", got)
+	}
+	if got := q.VisibleLen(0); got != 0 {
+		t.Fatalf("VisibleLen(0) = %d", got)
+	}
+}
+
+func TestHeadMutation(t *testing.T) {
+	q := New[int]("q", 2)
+	q.Push(0, 5)
+	h, ok := q.Head(1)
+	if !ok {
+		t.Fatal("no head")
+	}
+	*h = 9
+	if v, _ := q.Pop(1); v != 9 {
+		t.Fatalf("mutation lost: %d", v)
+	}
+}
+
+func TestAllStopsAtInvisible(t *testing.T) {
+	q := New[int]("q", 8)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Push(10, 3)
+	var seen []int
+	q.All(5, func(v *int) bool {
+		seen = append(seen, *v)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+	// Early stop.
+	seen = nil
+	q.All(5, func(v *int) bool {
+		seen = append(seen, *v)
+		return false
+	})
+	if len(seen) != 1 {
+		t.Fatalf("early stop failed: %v", seen)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	q := New[int]("q", 3)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Pop(1)
+	if q.Pushes() != 2 || q.Pops() != 1 || q.PeakLen() != 2 {
+		t.Fatalf("stats: pushes=%d pops=%d peak=%d", q.Pushes(), q.Pops(), q.PeakLen())
+	}
+	q.Reset()
+	if !q.Empty() || q.Pushes() != 0 || q.Pops() != 0 || q.PeakLen() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestString(t *testing.T) {
+	q := New[int]("AVDQ", 4)
+	q.Push(0, 1)
+	if got := q.String(); got != "AVDQ[1/4]" {
+		t.Fatalf("String = %q", got)
+	}
+	if q.Name() != "AVDQ" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+}
+
+// Property: any interleaving of pushes and (always later) pops preserves
+// FIFO order and never exceeds capacity.
+func TestFIFOProperty_Quick(t *testing.T) {
+	f := func(vals []uint8) bool {
+		q := New[uint8]("q", 16)
+		var pushed, popped []uint8
+		now := int64(0)
+		for _, v := range vals {
+			now++
+			if v%3 == 0 {
+				if got, ok := q.Pop(now); ok {
+					popped = append(popped, got)
+				}
+			} else if q.Push(now, v) {
+				pushed = append(pushed, v)
+			}
+			if q.Len() > q.Cap() {
+				return false
+			}
+		}
+		// Drain the rest.
+		now += 1
+		for {
+			got, ok := q.Pop(now)
+			if !ok {
+				break
+			}
+			popped = append(popped, got)
+		}
+		if len(pushed) != len(popped) {
+			return false
+		}
+		for i := range pushed {
+			if pushed[i] != popped[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"decvec/internal/experiments"
+	"decvec/internal/sim"
+)
+
+// Table1 renders the Table 1 reproduction: paper ratios next to measured
+// ratios (absolute counts differ by the documented trace scaling).
+func Table1(r *experiments.Table1Result) string {
+	t := NewTable("Table 1: basic operation counts for the Perfect Club programs",
+		"Program", "Sim", "#bbs", "#insns S", "#insns V", "#ops V",
+		"%Vect", "%Vect(paper)", "avg VL", "avg VL(paper)", "%spill mem")
+	for _, row := range r.Rows {
+		simMark := ""
+		if row.Simulated {
+			simMark = "*"
+		}
+		m := row.Measured
+		t.AddRowf(row.Name, simMark,
+			m.BasicBlocks, m.ScalarInsts, m.VectorInsts, m.VectorOps,
+			100*m.Vectorization(), row.Paper.Vect,
+			m.AvgVL(), row.Paper.AvgVL,
+			100*m.SpillFraction())
+	}
+	return t.String() + "(* = simulated in the paper's evaluation; counts are at trace scale, ratios comparable to the paper)\n"
+}
+
+// stateOrder lists the eight states bottom-to-top as in the Figure 1 bars.
+var stateOrder = []sim.State{
+	0,
+	sim.StateLD,
+	sim.StateFU1,
+	sim.StateFU1 | sim.StateLD,
+	sim.StateFU2,
+	sim.StateFU2 | sim.StateLD,
+	sim.StateFU2 | sim.StateFU1,
+	sim.StateFU2 | sim.StateFU1 | sim.StateLD,
+}
+
+// Figure1 renders the per-state execution-time breakdown of the reference
+// architecture.
+func Figure1(r *experiments.Figure1Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: functional unit usage for the reference architecture\n")
+	b.WriteString("(cycles per (FU2,FU1,LD) state; bars show the share of total time)\n\n")
+	for _, p := range r.Programs {
+		headers := []string{"State"}
+		for _, row := range p.Rows {
+			headers = append(headers, fmt.Sprintf("L=%d", row.Latency))
+		}
+		t := NewTable(p.Name, headers...)
+		for _, st := range stateOrder {
+			cells := []string{st.String()}
+			for _, row := range p.Rows {
+				frac := row.States.Fraction(st)
+				cells = append(cells, fmt.Sprintf("%8d %s", row.States.Cycles[st], Bar(frac, 10)))
+			}
+			t.AddRow(cells...)
+		}
+		totals := []string{"total"}
+		idles := []string{"LD idle %"}
+		for _, row := range p.Rows {
+			totals = append(totals, fmt.Sprintf("%8d", row.States.Total()))
+			idles = append(idles, fmt.Sprintf("%7.1f%%", 100*row.LDIdleFrac))
+		}
+		t.AddRow(totals...)
+		t.AddRow(idles...)
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure3 renders execution time versus memory latency for IDEAL, REF and
+// DVA.
+func Figure3(r *experiments.SweepResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: DVA versus Reference architecture (execution cycles)\n\n")
+	for _, p := range r.Programs {
+		t := NewTable(p.Name, "Latency", "IDEAL", "REF", "DVA", "REF/IDEAL", "DVA/IDEAL")
+		for _, pt := range p.Points {
+			t.AddRowf(pt.Latency, p.Ideal, pt.Ref.Cycles, pt.Dva.Cycles,
+				float64(pt.Ref.Cycles)/float64(p.Ideal),
+				float64(pt.Dva.Cycles)/float64(p.Ideal))
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure4 renders the ratio of cycles spent with all units idle (state
+// < , , >) between REF and DVA.
+func Figure4(r *experiments.SweepResult) string {
+	headers := []string{"Program"}
+	for _, l := range r.Latencies {
+		headers = append(headers, fmt.Sprintf("L=%d", l))
+	}
+	t := NewTable("Figure 4: ratio of cycles in state < , , > (REF / DVA)", headers...)
+	for _, p := range r.Programs {
+		cells := []string{p.Name}
+		for _, v := range p.StallRatio() {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Figure5 renders the speedup of the DVA over REF per latency.
+func Figure5(r *experiments.SweepResult) string {
+	headers := []string{"Program"}
+	for _, l := range r.Latencies {
+		headers = append(headers, fmt.Sprintf("L=%d", l))
+	}
+	t := NewTable("Figure 5: speedup of the DVA over the Reference architecture", headers...)
+	for _, p := range r.Programs {
+		cells := []string{p.Name}
+		for _, v := range p.Speedup() {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Figure6 renders the AVDQ busy-slot distributions.
+func Figure6(r *experiments.Figure6Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: busy slots in the AVDQ (cycles at each occupancy)\n\n")
+	for _, p := range r.Programs {
+		maxSlot := 0
+		for _, row := range p.Rows {
+			if m := row.Hist.Max(); m > maxSlot {
+				maxSlot = m
+			}
+		}
+		if maxSlot < 9 {
+			maxSlot = 9
+		}
+		headers := []string{"Busy slots"}
+		for _, row := range p.Rows {
+			headers = append(headers, fmt.Sprintf("L=%d", row.Latency))
+		}
+		t := NewTable(p.Name, headers...)
+		for k := 0; k <= maxSlot; k++ {
+			cells := []string{fmt.Sprintf("%d", k)}
+			for _, row := range p.Rows {
+				var v int64
+				if k < len(row.Hist.Buckets) {
+					v = row.Hist.Buckets[k]
+				}
+				frac := float64(v) / float64(row.Hist.Total())
+				cells = append(cells, fmt.Sprintf("%8d %s", v, Bar(frac, 10)))
+			}
+			t.AddRow(cells...)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure7 renders the bypass-configuration sweep.
+func Figure7(r *experiments.Figure7Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: performance of the bypassing scheme (execution cycles)\n\n")
+	for _, p := range r.Programs {
+		headers := []string{"Latency", "IDEAL"}
+		for _, s := range p.Series {
+			headers = append(headers, s.Name)
+		}
+		t := NewTable(p.Name, headers...)
+		for i, l := range r.Latencies {
+			cells := []string{fmt.Sprintf("%d", l), fmt.Sprintf("%d", p.Ideal)}
+			for _, s := range p.Series {
+				cells = append(cells, fmt.Sprintf("%d", s.Points[i].Cycles))
+			}
+			t.AddRow(cells...)
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Figure8 renders the memory-traffic comparison.
+func Figure8(r *experiments.Figure8Result) string {
+	t := NewTable(fmt.Sprintf("Figure 8: total memory traffic, DVA 256/16 vs BYP 256/16 (elements, L=%d)", r.Latency),
+		"Program", "DVA traffic", "BYP traffic", "Bypasses", "Reduction")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Name, row.DvaElems, row.BypElems, row.Bypasses,
+			fmt.Sprintf("%.1f%%", 100*row.ReductionFrac))
+	}
+	return t.String()
+}
+
+// Ablation renders a queue-sizing sensitivity study, normalizing each
+// program's series to its best (lowest) cycle count.
+func Ablation(r *experiments.AblationResult) string {
+	headers := []string{"Program"}
+	for _, v := range r.Values {
+		headers = append(headers, fmt.Sprintf("%d", v))
+	}
+	t := NewTable(fmt.Sprintf("Ablation: %s (cycles, relative to best; L=%d)", r.Parameter, r.Latency), headers...)
+	for _, p := range r.Programs {
+		best := p.Points[0].Cycles
+		for _, pt := range p.Points {
+			if pt.Cycles < best {
+				best = pt.Cycles
+			}
+		}
+		cells := []string{p.Name}
+		for _, pt := range p.Points {
+			cells = append(cells, fmt.Sprintf("%d (%.2f)", pt.Cycles, float64(pt.Cycles)/float64(best)))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// ExtensionOOO renders the §8 future-work study: decoupling versus
+// out-of-order execution with register renaming.
+func ExtensionOOO(r *experiments.ExtensionOOOResult) string {
+	headers := []string{"Program", "Latency", "REF", "DVA"}
+	for _, w := range r.Windows {
+		headers = append(headers, fmt.Sprintf("OOO-w%d", w))
+	}
+	headers = append(headers, "DVA spd", fmt.Sprintf("OOO-w%d spd", r.Windows[len(r.Windows)-1]))
+	t := NewTable("Extension (paper §8): decoupling vs out-of-order + renaming (cycles)", headers...)
+	for _, row := range r.Rows {
+		cells := []string{row.Name, fmt.Sprintf("%d", row.Latency),
+			fmt.Sprintf("%d", row.Ref), fmt.Sprintf("%d", row.Dva)}
+		for _, c := range row.Ooo {
+			cells = append(cells, fmt.Sprintf("%d", c))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.2f", float64(row.Ref)/float64(row.Dva)),
+			fmt.Sprintf("%.2f", float64(row.Ref)/float64(row.Ooo[len(row.Ooo)-1])))
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// ExtensionConflicts renders the multiprocessor-conflict study: the DVA's
+// tolerance of variable (conflicted) memory latency.
+func ExtensionConflicts(r *experiments.ConflictsResult) string {
+	t := NewTable(fmt.Sprintf("Extension (paper §1): memory-conflict jitter at base latency %d (per-access latency in [L, L+J])", r.BaseLatency),
+		"Program", "Jitter", "REF", "DVA", "Speedup")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Name, row.Jitter, row.Ref, row.Dva, row.Speedup)
+	}
+	return t.String()
+}
+
+// ExtensionPorts renders the second-port comparison: how much of a real
+// second memory port's benefit the §7 bypass captures.
+func ExtensionPorts(r *experiments.PortsResult) string {
+	t := NewTable("Extension (paper §7): the bypass as the 'illusion of two memory ports' (cycles)",
+		"Program", "Latency", "DVA 1-port", "BYP 1-port", "DVA 2-port", "bypass gain", "2nd-port gain")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Name, row.Latency, row.Dva1, row.Byp1, row.Dva2,
+			fmt.Sprintf("%.2f", row.BypGain), fmt.Sprintf("%.2f", row.PortGain))
+	}
+	return t.String()
+}

@@ -1,0 +1,134 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"decvec/internal/experiments"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "A", "LongHeader", "C")
+	tb.AddRow("x", "y", "z")
+	tb.AddRow("longer", "s")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// Header and rows share the separator width.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// The missing third cell of row 2 renders as padding, not a panic.
+	if !strings.Contains(lines[4], "longer") {
+		t.Errorf("row = %q", lines[4])
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("s", 3.14159, 42)
+	out := tb.String()
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Errorf("float formatting: %q", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int formatting: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "2")
+	tb.AddRow(`with"quote`, "3")
+	csv := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if csv != want {
+		t.Errorf("CSV:\n%q\nwant:\n%q", csv, want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5) = %q", got)
+	}
+	if got := Bar(-1, 4); got != "...." {
+		t.Errorf("Bar(-1) = %q", got)
+	}
+	if got := Bar(2, 4); got != "####" {
+		t.Errorf("Bar(2) = %q", got)
+	}
+}
+
+// TestRenderersProduceOutput drives every renderer over a small suite so
+// the formatting paths stay exercised end to end.
+func TestRenderersProduceOutput(t *testing.T) {
+	s := experiments.NewSuite(0.3)
+
+	t1, err := experiments.Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Table1(t1); !strings.Contains(out, "ARC2D") || !strings.Contains(out, "SPICE") {
+		t.Error("Table1 output incomplete")
+	}
+
+	f1, err := experiments.Figure1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Figure1(f1); !strings.Contains(out, "<FU2,FU1,LD>") || !strings.Contains(out, "LD idle") {
+		t.Error("Figure1 output incomplete")
+	}
+
+	sw, err := experiments.Sweep(s, []int64{1, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Figure3(sw); !strings.Contains(out, "IDEAL") || !strings.Contains(out, "DVA") {
+		t.Error("Figure3 output incomplete")
+	}
+	if out := Figure4(sw); !strings.Contains(out, "L=50") {
+		t.Error("Figure4 output incomplete")
+	}
+	if out := Figure5(sw); !strings.Contains(out, "speedup") {
+		t.Error("Figure5 output incomplete")
+	}
+
+	f6, err := experiments.Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Figure6(f6); !strings.Contains(out, "Busy slots") {
+		t.Error("Figure6 output incomplete")
+	}
+
+	f7, err := experiments.Figure7(s, []int64{1, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Figure7(f7); !strings.Contains(out, "BYP 4/8") {
+		t.Error("Figure7 output incomplete")
+	}
+
+	f8, err := experiments.Figure8(s, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Figure8(f8); !strings.Contains(out, "Reduction") {
+		t.Error("Figure8 output incomplete")
+	}
+
+	ab, err := experiments.AblationAVDQ(s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Ablation(ab); !strings.Contains(out, "256") {
+		t.Error("Ablation output incomplete")
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"decvec/internal/isa"
+)
+
+// Binary trace serialization — the role Dixie's trace files played in the
+// paper's methodology: traces are generated once, written to disk, and
+// replayed into the simulators any number of times.
+//
+// Format: a magic header, the trace name, the instruction count, then one
+// varint-encoded record per instruction. Sequence numbers are implicit
+// (dense from zero), base addresses and strides are delta-encoded against
+// the previous memory reference, and VL values are encoded directly —
+// loop-structured traces compress to a few bytes per instruction.
+
+// binaryMagic identifies the file format and its version.
+const binaryMagic = "DVTR1\n"
+
+// flag bits of the per-instruction header byte that follows class/opcode.
+const (
+	flagSpill = 1 << 0
+	flagBBEnd = 1 << 1
+)
+
+// Write serializes the trace to w.
+func Write(w io.Writer, s *Slice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(s.TraceName))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(s.TraceName); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(s.Insts))); err != nil {
+		return err
+	}
+	var prevBase uint64
+	var prevStride int64
+	for i := range s.Insts {
+		in := &s.Insts[i]
+		flags := byte(0)
+		if in.Spill {
+			flags |= flagSpill
+		}
+		if in.BBEnd {
+			flags |= flagBBEnd
+		}
+		if err := bw.WriteByte(byte(in.Class)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(in.Op)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		for _, r := range [...]isa.Reg{in.Dst, in.Src1, in.Src2} {
+			if err := bw.WriteByte(byte(r.Kind)<<4 | r.Idx); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(in.VL)); err != nil {
+			return err
+		}
+		if err := putVarint(in.Stride - prevStride); err != nil {
+			return err
+		}
+		prevStride = in.Stride
+		if err := putVarint(int64(in.Base) - int64(prevBase)); err != nil {
+			return err
+		}
+		prevBase = in.Base
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Slice, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: count: %w", err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+	}
+	// Cap the preallocation: a hostile header must not allocate gigabytes
+	// before the (then truncated) body fails to parse.
+	prealloc := count
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	s := &Slice{TraceName: string(name), Insts: make([]isa.Inst, 0, prealloc)}
+	var prevBase uint64
+	var prevStride int64
+	for i := uint64(0); i < count; i++ {
+		var hdr [6]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("trace: instruction %d header: %w", i, err)
+		}
+		in := isa.Inst{
+			Seq:   int64(i),
+			Class: isa.Class(hdr[0]),
+			Op:    isa.Opcode(hdr[1]),
+			Spill: hdr[2]&flagSpill != 0,
+			BBEnd: hdr[2]&flagBBEnd != 0,
+		}
+		regs := [3]*isa.Reg{&in.Dst, &in.Src1, &in.Src2}
+		for j, b := range hdr[3:6] {
+			regs[j].Kind = isa.RegKind(b >> 4)
+			regs[j].Idx = b & 0x0f
+		}
+		vl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: instruction %d VL: %w", i, err)
+		}
+		if vl > isa.MaxVL {
+			return nil, fmt.Errorf("trace: instruction %d VL %d out of range", i, vl)
+		}
+		in.VL = int(vl)
+		dStride, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: instruction %d stride: %w", i, err)
+		}
+		in.Stride = prevStride + dStride
+		prevStride = in.Stride
+		dBase, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: instruction %d base: %w", i, err)
+		}
+		in.Base = uint64(int64(prevBase) + dBase)
+		prevBase = in.Base
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: instruction %d: %w", i, err)
+		}
+		s.Insts = append(s.Insts, in)
+	}
+	return s, nil
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decvec/internal/isa"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	src := &Slice{TraceName: "roundtrip", Insts: sampleInsts()}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceName != src.TraceName || got.Len() != src.Len() {
+		t.Fatalf("header mismatch: %q/%d", got.TraceName, got.Len())
+	}
+	for i := range src.Insts {
+		if got.Insts[i] != src.Insts[i] {
+			t.Errorf("instruction %d: %s != %s", i, got.Insts[i].String(), src.Insts[i].String())
+		}
+	}
+}
+
+func TestBinaryRoundTripLarge(t *testing.T) {
+	// A realistic trace with negative strides, large addresses, gathers
+	// and every class.
+	var insts []isa.Inst
+	base := uint64(0xdeadbeef000)
+	for i := 0; i < 500; i++ {
+		switch i % 5 {
+		case 0:
+			insts = append(insts, isa.Inst{Class: isa.ClassVectorLoad, Dst: isa.V(i % 8), Src1: isa.A(1), Base: base + uint64(i)*512, VL: 1 + i%128, Stride: int64(1 + i%7)})
+		case 1:
+			insts = append(insts, isa.Inst{Class: isa.ClassVectorStore, Dst: isa.V(i % 8), Base: base - uint64(i)*64, VL: 1 + i%128, Stride: -int64(1 + i%3)})
+		case 2:
+			insts = append(insts, isa.Inst{Class: isa.ClassVectorALU, Op: isa.OpMul, Dst: isa.V(0), Src1: isa.V(1), Src2: isa.S(2), VL: 1 + i%128})
+		case 3:
+			insts = append(insts, isa.Inst{Class: isa.ClassScalarLoad, Dst: isa.S(i % 8), Base: base + uint64(i), Spill: i%2 == 0})
+		default:
+			insts = append(insts, isa.Inst{Class: isa.ClassBranch, Op: isa.OpCmp, Src1: isa.A(0), BBEnd: true})
+		}
+	}
+	for i := range insts {
+		insts[i].Seq = int64(i)
+	}
+	src := &Slice{TraceName: "large", Insts: insts}
+	if err := Validate(src); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Loop-structured traces should compress well below the in-memory size.
+	perInst := float64(buf.Len()) / float64(len(insts))
+	if perInst > 16 {
+		t.Errorf("encoding too large: %.1f bytes/instruction", perInst)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Insts {
+		if got.Insts[i] != src.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOPE!\nxxxxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	src := &Slice{TraceName: "trunc", Insts: sampleInsts()}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) / 2, len(binaryMagic) + 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptInstruction(t *testing.T) {
+	src := &Slice{TraceName: "x", Insts: sampleInsts()}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Smash the class byte of the first instruction into garbage that
+	// fails Validate (vector load with VL intact but broken registers).
+	idx := len(binaryMagic) + 1 + len("x") + 1 // name-len, name, count
+	data[idx+3] = 0xff                         // destination register byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt register byte accepted")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	src := &Slice{TraceName: "empty"}
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.TraceName != "empty" {
+		t.Errorf("got %q/%d", got.TraceName, got.Len())
+	}
+}

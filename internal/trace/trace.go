@@ -1,0 +1,165 @@
+// Package trace defines the dynamic instruction trace abstraction consumed
+// by the simulators, playing the role of the Dixie traces the paper used:
+// a stream of instructions annotated with vector lengths, vector strides
+// and memory reference addresses.
+package trace
+
+import (
+	"fmt"
+
+	"decvec/internal/isa"
+)
+
+// Stream produces instructions in dynamic program order. Next returns the
+// next instruction, or ok=false at the end of the trace. The returned
+// pointer is only valid until the following Next call.
+type Stream interface {
+	Next() (in *isa.Inst, ok bool)
+}
+
+// Source is a replayable trace: each call to Stream starts a fresh pass
+// over the same dynamic instruction sequence. Simulators run a Source many
+// times under different configurations.
+type Source interface {
+	// Name identifies the trace (e.g. the benchmark program name).
+	Name() string
+	// Stream starts a new pass over the trace.
+	Stream() Stream
+}
+
+// Slice is an in-memory trace. It implements Source.
+type Slice struct {
+	TraceName string
+	Insts     []isa.Inst
+}
+
+// Name implements Source.
+func (s *Slice) Name() string { return s.TraceName }
+
+// Stream implements Source.
+func (s *Slice) Stream() Stream { return &sliceStream{insts: s.Insts} }
+
+// Len returns the number of dynamic instructions.
+func (s *Slice) Len() int { return len(s.Insts) }
+
+type sliceStream struct {
+	insts []isa.Inst
+	pos   int
+}
+
+func (st *sliceStream) Next() (*isa.Inst, bool) {
+	if st.pos >= len(st.insts) {
+		return nil, false
+	}
+	in := &st.insts[st.pos]
+	st.pos++
+	return in, true
+}
+
+// Materialize drains a stream into a Slice with the given name.
+func Materialize(name string, st Stream) *Slice {
+	s := &Slice{TraceName: name}
+	for {
+		in, ok := st.Next()
+		if !ok {
+			break
+		}
+		s.Insts = append(s.Insts, *in)
+	}
+	return s
+}
+
+// Stats are the Table 1 columns for one trace.
+type Stats struct {
+	Name        string
+	BasicBlocks int64 // #bbs
+	ScalarInsts int64 // #insns S
+	VectorInsts int64 // #insns V
+	VectorOps   int64 // #ops V
+	MemInsts    int64
+	SpillMemOps int64
+	// VLHist is the distribution of vector lengths used.
+	VLHist [isa.MaxVL + 1]int64
+}
+
+// Vectorization is the degree of vectorization: vector ops over total ops.
+func (s *Stats) Vectorization() float64 {
+	total := float64(s.ScalarInsts + s.VectorOps)
+	if total == 0 {
+		return 0
+	}
+	return float64(s.VectorOps) / total
+}
+
+// AvgVL is vector operations per vector instruction.
+func (s *Stats) AvgVL() float64 {
+	if s.VectorInsts == 0 {
+		return 0
+	}
+	return float64(s.VectorOps) / float64(s.VectorInsts)
+}
+
+// SpillFraction is the fraction of memory instructions marked as spill
+// traffic by the generator.
+func (s *Stats) SpillFraction() float64 {
+	if s.MemInsts == 0 {
+		return 0
+	}
+	return float64(s.SpillMemOps) / float64(s.MemInsts)
+}
+
+// String formats the stats as one Table 1 row.
+func (s *Stats) String() string {
+	return fmt.Sprintf("%-8s bbs=%d S=%d V=%d Vops=%d vect=%.1f%% avgVL=%.0f",
+		s.Name, s.BasicBlocks, s.ScalarInsts, s.VectorInsts, s.VectorOps,
+		100*s.Vectorization(), s.AvgVL())
+}
+
+// Collect computes trace statistics by draining one pass of the source.
+func Collect(src Source) *Stats {
+	st := src.Stream()
+	stats := &Stats{Name: src.Name()}
+	for {
+		in, ok := st.Next()
+		if !ok {
+			break
+		}
+		if in.IsVector() {
+			stats.VectorInsts++
+			stats.VectorOps += int64(in.VL)
+			stats.VLHist[in.VL]++
+		} else {
+			stats.ScalarInsts++
+		}
+		if in.Class.IsMemory() {
+			stats.MemInsts++
+			if in.Spill {
+				stats.SpillMemOps++
+			}
+		}
+		if in.BBEnd {
+			stats.BasicBlocks++
+		}
+	}
+	return stats
+}
+
+// Validate checks every instruction of one pass and the sequence-number
+// invariant (dense, ascending from 0). It returns the first problem found.
+func Validate(src Source) error {
+	st := src.Stream()
+	var want int64
+	for {
+		in, ok := st.Next()
+		if !ok {
+			return nil
+		}
+		if in.Seq != want {
+			return fmt.Errorf("trace %s: sequence %d where %d expected", src.Name(), in.Seq, want)
+		}
+		want++
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("trace %s: %w", src.Name(), err)
+		}
+	}
+}

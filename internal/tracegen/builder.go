@@ -1,0 +1,173 @@
+// Package tracegen synthesizes dynamic instruction traces with the same
+// information content as the paper's Dixie traces: instruction streams
+// annotated with vector lengths, vector strides and memory addresses.
+//
+// Traces are built from parameterized loop kernels (daxpy-like streams,
+// compute-bound kernels, spill-heavy bodies, reductions with loop-carried
+// scalar dependencies, gather/scatter, scalar glue code). The workload
+// package composes kernels into models of the Perfect Club programs.
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decvec/internal/isa"
+	"decvec/internal/trace"
+)
+
+// Builder accumulates a synthetic trace. Create one with New, call kernel
+// methods, then Trace to obtain the result.
+type Builder struct {
+	name  string
+	insts []isa.Inst
+	seq   int64
+	rng   *rand.Rand
+
+	// curVL and curVS mirror the architectural VL/VS registers so kernels
+	// emit vsetvl/vsetvs only on change, as compiled code does.
+	curVL int
+	curVS int64
+
+	// nextAddr is the bump allocator cursor for array placement. Arrays are
+	// spaced so that distinct arrays never alias.
+	nextAddr uint64
+}
+
+// New returns a Builder for a trace with the given name and deterministic
+// random seed.
+func New(name string, seed int64) *Builder {
+	return &Builder{
+		name:     name,
+		rng:      rand.New(rand.NewSource(seed)),
+		curVL:    -1,
+		curVS:    -999,
+		nextAddr: 0x10000,
+	}
+}
+
+// Trace finalizes the builder into a replayable in-memory trace.
+func (b *Builder) Trace() *trace.Slice {
+	return &trace.Slice{TraceName: b.name, Insts: b.insts}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Array reserves a region of n 64-bit elements and returns its base
+// address. Regions are padded so neighbouring arrays never overlap even
+// with large strides.
+func (b *Builder) Array(n int) uint64 {
+	base := b.nextAddr
+	b.nextAddr += uint64(n)*isa.ElemSize + 4096
+	return base
+}
+
+// Rand exposes the builder's deterministic random source to kernels.
+func (b *Builder) Rand() *rand.Rand { return b.rng }
+
+func (b *Builder) emit(in isa.Inst) {
+	in.Seq = b.seq
+	b.seq++
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("tracegen: %v", err))
+	}
+	b.insts = append(b.insts, in)
+}
+
+// SetVL emits a vsetvl if the current vector length differs.
+func (b *Builder) SetVL(vl int) {
+	if vl == b.curVL {
+		return
+	}
+	if vl < 1 || vl > isa.MaxVL {
+		panic(fmt.Sprintf("tracegen: vsetvl %d", vl))
+	}
+	b.curVL = vl
+	b.emit(isa.Inst{Class: isa.ClassVSetVL, VL: vl})
+}
+
+// SetVS emits a vsetvs if the current vector stride differs.
+func (b *Builder) SetVS(vs int64) {
+	if vs == b.curVS {
+		return
+	}
+	b.curVS = vs
+	b.emit(isa.Inst{Class: isa.ClassVSetVS, Stride: vs})
+}
+
+// VL returns the current vector length.
+func (b *Builder) VL() int { return b.curVL }
+
+// AAdd emits address arithmetic dst = src1 (+ src2) on the AP.
+func (b *Builder) AAdd(dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Class: isa.ClassScalarALU, Op: isa.OpAdd, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// SOp emits scalar S-register arithmetic on the SP.
+func (b *Builder) SOp(op isa.Opcode, dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Class: isa.ClassScalarALU, Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// SLoad emits a scalar load from addr into an A or S register.
+func (b *Builder) SLoad(dst isa.Reg, addrReg isa.Reg, addr uint64, spill bool) {
+	b.emit(isa.Inst{Class: isa.ClassScalarLoad, Dst: dst, Src1: addrReg, Base: addr, Spill: spill})
+}
+
+// SStore emits a scalar store of an A or S register to addr.
+func (b *Builder) SStore(data isa.Reg, addrReg isa.Reg, addr uint64, spill bool) {
+	b.emit(isa.Inst{Class: isa.ClassScalarStore, Dst: data, Src1: addrReg, Base: addr, Spill: spill})
+}
+
+// VLoad emits a vector load of the current VL/VS into dst.
+func (b *Builder) VLoad(dst, addrReg isa.Reg, addr uint64, spill bool) {
+	b.emit(isa.Inst{
+		Class: isa.ClassVectorLoad, Dst: dst, Src1: addrReg,
+		Base: addr, VL: b.curVL, Stride: b.curVS, Spill: spill,
+	})
+}
+
+// VStore emits a vector store of data (a V register) at the current VL/VS.
+func (b *Builder) VStore(data, addrReg isa.Reg, addr uint64, spill bool) {
+	b.emit(isa.Inst{
+		Class: isa.ClassVectorStore, Dst: data, Src1: addrReg,
+		Base: addr, VL: b.curVL, Stride: b.curVS, Spill: spill,
+	})
+}
+
+// Gather emits an indexed vector load (conservatively aliased with all of
+// memory by the disambiguator).
+func (b *Builder) Gather(dst, addrReg isa.Reg, addr uint64) {
+	b.emit(isa.Inst{Class: isa.ClassGather, Dst: dst, Src1: addrReg, Base: addr, VL: b.curVL, Stride: 1})
+}
+
+// Scatter emits an indexed vector store.
+func (b *Builder) Scatter(data, addrReg isa.Reg, addr uint64) {
+	b.emit(isa.Inst{Class: isa.ClassScatter, Dst: data, Src1: addrReg, Base: addr, VL: b.curVL, Stride: 1})
+}
+
+// VOp emits an element-wise vector operation dst = src1 op src2. src2 may
+// be an S register (a scalar operand fed through the SVDQ in the DVA).
+func (b *Builder) VOp(op isa.Opcode, dst, src1, src2 isa.Reg) {
+	b.emit(isa.Inst{Class: isa.ClassVectorALU, Op: op, Dst: dst, Src1: src1, Src2: src2, VL: b.curVL})
+}
+
+// Reduce emits a vector reduction of src into the scalar register dst.
+func (b *Builder) Reduce(op isa.Opcode, dst, src isa.Reg) {
+	b.emit(isa.Inst{Class: isa.ClassReduce, Op: op, Dst: dst, Src1: src, VL: b.curVL})
+}
+
+// Branch emits a loop-closing conditional branch reading ctr and ends the
+// basic block. Counters in A registers execute on the AP, S registers on
+// the SP.
+func (b *Builder) Branch(ctr isa.Reg) {
+	b.emit(isa.Inst{Class: isa.ClassBranch, Op: isa.OpCmp, Src1: ctr, BBEnd: true})
+}
+
+// EndBB marks the previous instruction as a basic-block boundary without
+// emitting anything (for straight-line code split by calls).
+func (b *Builder) EndBB() {
+	if len(b.insts) > 0 {
+		b.insts[len(b.insts)-1].BBEnd = true
+	}
+}

@@ -1,0 +1,519 @@
+package tracegen
+
+import "decvec/internal/isa"
+
+// Kernels are the loop templates the workload models compose. Register
+// conventions inside kernels: A0 is the loop counter, A1-A5 hold array
+// bases, A6/A7 are temporaries; S registers hold scalar values; vector
+// registers are double-buffered between iterations so consecutive
+// iterations do not serialize on WAW hazards (as a vectorizing compiler
+// would allocate them).
+
+// loopCtl emits the loop-control tail of one iteration: the counter update
+// on the AP and the closing branch.
+func (b *Builder) loopCtl() {
+	b.AAdd(isa.A(0), isa.A(0), isa.None)
+	b.Branch(isa.A(0))
+}
+
+// Daxpy emits a memory-bound daxpy-like loop: z[i] = a*x[i] + y[i].
+// Three vector memory references per iteration against two functional-unit
+// operations make the memory port the bottleneck; this is the bread and
+// butter of the paper's memory-bound benchmarks.
+func (b *Builder) Daxpy(vl, iters int) {
+	x, y, z := b.Array(vl*iters), b.Array(vl*iters), b.Array(vl*iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		// Double-buffer vector registers across iterations.
+		v0, v1, v2 := isa.V(0), isa.V(1), isa.V(2)
+		if i%2 == 1 {
+			v0, v1, v2 = isa.V(4), isa.V(5), isa.V(6)
+		}
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(v0, isa.A(1), x+off, false)
+		b.AAdd(isa.A(2), isa.A(2), isa.None)
+		b.VLoad(v1, isa.A(2), y+off, false)
+		b.VOp(isa.OpMul, v2, v0, isa.S(1)) // a*x, scalar operand via SVDQ
+		b.VOp(isa.OpAdd, v2, v2, v1)
+		b.AAdd(isa.A(3), isa.A(3), isa.None)
+		b.VStore(v2, isa.A(3), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// Copy emits a pure copy loop: z[i] = x[i]. Entirely memory-port bound.
+func (b *Builder) Copy(vl, iters int) {
+	x, z := b.Array(vl*iters), b.Array(vl*iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		v := isa.V(0)
+		if i%2 == 1 {
+			v = isa.V(4)
+		}
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(v, isa.A(1), x+off, false)
+		b.AAdd(isa.A(2), isa.A(2), isa.None)
+		b.VStore(v, isa.A(2), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// ComputeBound emits a loop with `flops` chained vector operations per
+// element loaded: one load, a chain of ALU operations alternating
+// FU1-capable and FU2-only work, one store. With flops well above 2 the
+// functional units, not the port, limit performance; in the DVA this is the
+// regime where the VPIQ fills and bounds the AVDQ occupancy (§6).
+func (b *Builder) ComputeBound(vl, iters, flops int) {
+	if flops < 1 {
+		flops = 1
+	}
+	x, z := b.Array(vl*iters), b.Array(vl*iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		v0, v1 := isa.V(0), isa.V(1)
+		if i%2 == 1 {
+			v0, v1 = isa.V(4), isa.V(5)
+		}
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(v0, isa.A(1), x+off, false)
+		cur := v0
+		for f := 0; f < flops; f++ {
+			op := isa.OpAdd
+			if f%2 == 1 {
+				op = isa.OpMul
+			}
+			b.VOp(op, v1, cur, isa.None)
+			cur, v1 = v1, cur
+		}
+		b.AAdd(isa.A(2), isa.A(2), isa.None)
+		b.VStore(cur, isa.A(2), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// Stencil emits a three-point-stencil-like loop: three loads of the same
+// array at shifted offsets, two adds, one multiply by a scalar, one store.
+// Heavily memory-bound with some FU overlap — typical of ARC2D/FLO52 sweeps.
+func (b *Builder) Stencil(vl, iters int) {
+	x, z := b.Array(vl*iters+2), b.Array(vl*iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(isa.V(0), isa.A(1), x+off, false)
+		b.VLoad(isa.V(1), isa.A(1), x+off+isa.ElemSize, false)
+		b.VLoad(isa.V(2), isa.A(1), x+off+2*isa.ElemSize, false)
+		// Distinct destinations let the three operations chain +1 apart.
+		b.VOp(isa.OpAdd, isa.V(3), isa.V(0), isa.V(1))
+		b.VOp(isa.OpAdd, isa.V(4), isa.V(3), isa.V(2))
+		b.VOp(isa.OpMul, isa.V(5+i%2), isa.V(4), isa.S(2))
+		b.AAdd(isa.A(2), isa.A(2), isa.None)
+		b.VStore(isa.V(5+i%2), isa.A(2), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// Spill emits a loop whose body spills vector temporaries to stack slots
+// at its start and reloads them near its end — compiler spill code across
+// high-register-pressure regions, the prime beneficiary of the §7 bypass:
+// a reload is identical to a queued store whenever the store has not yet
+// drained to memory. spills is the number of spill store/reload pairs per
+// iteration; work is the number of ALU operations separating the spills
+// from the reloads (more work gives the store engine more time to drain).
+func (b *Builder) Spill(vl, iters, spills, work int) {
+	if spills < 1 {
+		spills = 1
+	}
+	if spills > 3 {
+		spills = 3
+	}
+	x, z := b.Array(vl*iters), b.Array(vl*iters)
+	// One set of stack slots, reused every iteration.
+	slots := make([]uint64, spills)
+	for s := range slots {
+		slots[s] = b.Array(vl)
+	}
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(isa.V(0), isa.A(1), x+off, false)
+		// Produce and spill the temporaries that won't fit in registers.
+		for s := 0; s < spills; s++ {
+			b.VOp(isa.OpMul, isa.V(1), isa.V(0), isa.S(1))
+			b.VStore(isa.V(1), isa.A(4), slots[s], true)
+		}
+		// The register-hungry middle of the body: independent operations
+		// on the loaded vector, alternating destination registers.
+		for w := 0; w < work; w++ {
+			op := isa.OpAdd
+			if w%2 == 1 {
+				op = isa.OpMul
+			}
+			b.VOp(op, isa.V(2+w%2), isa.V(0), isa.None)
+		}
+		// Reload the spilled temporaries and combine.
+		for s := 0; s < spills; s++ {
+			ld := isa.V(4 + s%2)
+			b.VLoad(ld, isa.A(4), slots[s], true)
+			b.VOp(isa.OpAdd, isa.V(6+s%2), ld, isa.V(2))
+		}
+		b.AAdd(isa.A(3), isa.A(3), isa.None)
+		b.VStore(isa.V(6), isa.A(3), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// SpillPipelined emits a software-pipelined stream loop that additionally
+// spills one live vector across iterations: iteration i stores a temporary
+// to a rotating stack slot and reloads the value iteration i-1 stored —
+// the paper's "bypass between data belonging to different iterations of the
+// same loop". Without the bypass, the reload's hazard check finds the
+// previous iteration's store still queued whenever the AP has slipped
+// ahead, forcing a drain that claws the slip back (DYFESM's flat speedup);
+// with the bypass the reload is serviced from the queue and the slip —
+// and the memory port — are preserved.
+func (b *Builder) SpillPipelined(vl, iters, spills int) {
+	if spills < 1 {
+		spills = 1
+	}
+	if spills > 2 {
+		spills = 2
+	}
+	x, z := b.Array(vl*(iters+2)), b.Array(vl*(iters+2))
+	// Each spill pair rotates over two stack slots.
+	var slots [2][2]uint64
+	for s := 0; s < spills; s++ {
+		slots[s] = [2]uint64{b.Array(vl), b.Array(vl)}
+	}
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	// Two register groups rotate: g[0] holds the stream load, g[1] the
+	// first spill reload; everything consumed in iteration i was produced
+	// in iteration i-1, so the reference architecture hides one iteration's
+	// worth of chimes of memory latency, as compiler-scheduled code does.
+	groups := [2][2]isa.Reg{
+		{isa.V(0), isa.V(1)},
+		{isa.V(2), isa.V(3)},
+	}
+	// The second spill pair rotates over V4/V5.
+	extra := [2]isa.Reg{isa.V(4), isa.V(5)}
+	for i := 0; i < iters; i++ {
+		g, p := groups[i%2], groups[(i+1)%2]
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(g[0], isa.A(1), x+off, false)
+		if i >= 1 {
+			// Spill temporaries computed from the previous load...
+			for s := 0; s < spills; s++ {
+				b.VOp(isa.OpMul, isa.V(6), p[0], isa.S(1))
+				b.VStore(isa.V(6), isa.A(4), slots[s][i%2], true)
+				if i < 2 {
+					continue // nothing spilled into the other slot yet
+				}
+				// ...and reload the ones spilled in the previous iteration.
+				dst := g[1]
+				if s == 1 {
+					dst = extra[i%2]
+				}
+				b.VLoad(dst, isa.A(4), slots[s][(i-1)%2], true)
+			}
+		}
+		if i >= 3 {
+			// Combine the previous iteration's stream load and reloads.
+			dst := isa.V(7)
+			b.VOp(isa.OpAdd, dst, p[0], p[1])
+			if spills > 1 {
+				b.VOp(isa.OpAdd, dst, dst, extra[(i-1)%2])
+			}
+			b.AAdd(isa.A(3), isa.A(3), isa.None)
+			b.VStore(dst, isa.A(3), z+off, false)
+		}
+		b.loopCtl()
+	}
+}
+
+// DotReduce emits a dot-product-style reduction loop. When carried is
+// true, the reduction result feeds both the next iteration's vector
+// operation (through the SVDQ) and its address computation (through the
+// SAAQ), reproducing DYFESM's distance-1 recurrence: the SP stalls, the AP
+// cannot slip ahead, and the three processors run in lockstep (§5).
+func (b *Builder) DotReduce(vl, iters int, carried bool) {
+	x := b.Array(vl * iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		v0, v1 := isa.V(0), isa.V(1)
+		if i%2 == 1 {
+			v0, v1 = isa.V(4), isa.V(5)
+		}
+		off := uint64(i) * step
+		if carried {
+			// Address depends on the previous reduction result: the AP
+			// waits for S1 through the SAAQ.
+			b.emit(isa.Inst{Class: isa.ClassScalarALU, Op: isa.OpAdd,
+				Dst: isa.A(1), Src1: isa.A(1), Src2: isa.S(1)})
+		} else {
+			b.AAdd(isa.A(1), isa.A(1), isa.None)
+		}
+		b.VLoad(v0, isa.A(1), x+off, false)
+		scalar := isa.S(3) // loop-invariant coefficient
+		if carried {
+			scalar = isa.S(1) // previous reduction result
+		}
+		b.VOp(isa.OpMul, v1, v0, scalar)
+		b.Reduce(isa.OpAdd, isa.S(1), v1)
+		b.SOp(isa.OpAdd, isa.S(2), isa.S(2), isa.S(1)) // accumulate on the SP
+		b.loopCtl()
+	}
+}
+
+// LoadBurst emits a loop that issues `burst` independent vector loads and
+// only then combines them: the address processor can run far ahead filling
+// the AVDQ (SPEC77's behaviour in Figure 6), while the reference
+// architecture stalls its single dispatch on the first use. burst is capped
+// at 6 to leave registers for the result.
+func (b *Builder) LoadBurst(vl, iters, burst int) {
+	if burst < 2 {
+		burst = 2
+	}
+	if burst > 6 {
+		burst = 6
+	}
+	arrays := make([]uint64, burst)
+	for i := range arrays {
+		arrays[i] = b.Array(vl * iters)
+	}
+	z := b.Array(vl * iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		off := uint64(i) * step
+		for j := 0; j < burst; j++ {
+			b.AAdd(isa.A(1+j%4), isa.A(1+j%4), isa.None)
+			b.VLoad(isa.V(j), isa.A(1+j%4), arrays[j]+off, false)
+		}
+		acc := isa.V(6)
+		b.VOp(isa.OpAdd, acc, isa.V(0), isa.V(1))
+		for j := 2; j < burst; j++ {
+			b.VOp(isa.OpAdd, acc, acc, isa.V(j))
+		}
+		b.VOp(isa.OpMul, isa.V(7), acc, isa.S(1))
+		b.AAdd(isa.A(5), isa.A(5), isa.None)
+		b.VStore(isa.V(7), isa.A(5), z+off, false)
+		b.loopCtl()
+	}
+}
+
+// SoftPipeDaxpy emits a software-pipelined daxpy: the loads issued in
+// iteration i are consumed in iteration i+2, so no instruction ever waits
+// on a load issued in its own iteration. Such loops reach the memory-port
+// bound on the reference architecture too (the Convex compiler scheduled
+// for the lack of load chaining) — they model DYFESM's dominant loop, which
+// runs at its chime bound on both architectures and shows no speedup (§5).
+func (b *Builder) SoftPipeDaxpy(vl, iters int) {
+	x, y, z := b.Array(vl*(iters+2)), b.Array(vl*(iters+2)), b.Array(vl*iters)
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	// Three register groups of (x, y) pairs rotate; the compute result
+	// alternates between V6 and V7.
+	groups := [3][2]isa.Reg{
+		{isa.V(0), isa.V(1)},
+		{isa.V(2), isa.V(3)},
+		{isa.V(4), isa.V(5)},
+	}
+	for i := 0; i < iters+2; i++ {
+		if i < iters {
+			g := groups[i%3]
+			off := uint64(i) * step
+			b.AAdd(isa.A(1), isa.A(1), isa.None)
+			b.VLoad(g[0], isa.A(1), x+off, false)
+			b.AAdd(isa.A(2), isa.A(2), isa.None)
+			b.VLoad(g[1], isa.A(2), y+off, false)
+		}
+		if i >= 2 {
+			g := groups[(i-2)%3]
+			res := isa.V(6 + i%2)
+			off := uint64(i-2) * step
+			b.VOp(isa.OpMul, res, g[0], isa.S(1))
+			b.VOp(isa.OpAdd, res, res, g[1])
+			b.AAdd(isa.A(3), isa.A(3), isa.None)
+			b.VStore(res, isa.A(3), z+off, false)
+		}
+		b.loopCtl()
+	}
+}
+
+// SpillEager emits a stream loop with a cross-iteration spill whose reload
+// is consumed in the same iteration it is issued. The spilled temporary is
+// computed from the previous iteration's load, so its store data is ready
+// early; the reload's consumer, however, waits for the full reload — the
+// reference architecture therefore pays the memory latency every iteration
+// (no load chaining), while the decoupled AP, whose spill stores have
+// usually drained by reload time, keeps slipping. This is the BDNA regime:
+// large decoupling gains on heavily spilled code, with the bypass adding a
+// further, moderate gain for the reloads that do catch their store in the
+// queue.
+func (b *Builder) SpillEager(vl, iters int) {
+	x, z := b.Array(vl*(iters+1)), b.Array(vl*(iters+1))
+	slots := [2]uint64{b.Array(vl), b.Array(vl)}
+	b.SetVL(vl)
+	b.SetVS(1)
+	step := uint64(vl) * isa.ElemSize
+	groups := [2][2]isa.Reg{
+		{isa.V(0), isa.V(1)},
+		{isa.V(2), isa.V(3)},
+	}
+	for i := 0; i < iters; i++ {
+		g, p := groups[i%2], groups[(i+1)%2]
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(g[0], isa.A(1), x+off, false)
+		if i >= 1 {
+			// Spill a temporary computed from the previous load: its data
+			// is available to the store engine almost immediately.
+			b.VOp(isa.OpMul, isa.V(6), p[0], isa.S(1))
+			b.VStore(isa.V(6), isa.A(4), slots[i%2], true)
+		}
+		if i >= 2 {
+			// Reload last iteration's spill and consume it right away.
+			b.VLoad(g[1], isa.A(4), slots[(i-1)%2], true)
+			b.VOp(isa.OpAdd, isa.V(7), p[0], g[1])
+			b.AAdd(isa.A(3), isa.A(3), isa.None)
+			b.VStore(isa.V(7), isa.A(3), z+off, false)
+		}
+		b.loopCtl()
+	}
+}
+
+// GatherScatter emits a sparse update loop: gather, scale, scatter. The
+// disambiguator treats both as touching all of memory, so each gather
+// drains the store queues — the conservative behaviour the paper specifies.
+func (b *Builder) GatherScatter(vl, iters int) {
+	x := b.Array(vl * iters * 4)
+	b.SetVL(vl)
+	for i := 0; i < iters; i++ {
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.Gather(isa.V(0), isa.A(1), x)
+		b.VOp(isa.OpMul, isa.V(1), isa.V(0), isa.S(1))
+		b.Scatter(isa.V(1), isa.A(1), x)
+		b.loopCtl()
+	}
+}
+
+// ScalarBlock emits n instructions of scalar-only code: S-register
+// arithmetic with loads, stores and branches. memPct is the percentage of
+// instructions that access memory; spillPct is the percentage of those
+// memory accesses that are register spill traffic (store-then-reload pairs
+// against a small stack region, marked Spill for the statistics). The
+// loads hit a small working set so the scalar cache filters most of them,
+// as real scalar glue code would.
+func (b *Builder) ScalarBlock(n, memPct, spillPct int) {
+	b.ScalarBlockSpan(n, memPct, spillPct, 64)
+}
+
+// ScalarBlockSpan is ScalarBlock with an explicit working-set span in
+// elements. Spans well beyond the scalar cache capacity make the loads
+// miss, exposing memory latency to the scalar pipeline — the regime where
+// decoupled access/execute hides scalar miss latency but an in-order
+// dispatch cannot.
+func (b *Builder) ScalarBlockSpan(n, memPct, spillPct, span int) {
+	if n <= 0 {
+		return
+	}
+	if span < 16 {
+		span = 16
+	}
+	work := b.Array(span)
+	stack := b.Array(16)
+	var pend []uint64 // spill stores awaiting their reload
+	for i := 0; i < n; i++ {
+		r := b.rng.Intn(100)
+		switch {
+		case r < memPct:
+			if b.rng.Intn(100) < spillPct {
+				if len(pend) > 0 && b.rng.Intn(2) == 0 {
+					addr := pend[0]
+					pend = pend[1:]
+					b.SLoad(isa.S(5), isa.A(6), addr, true)
+				} else {
+					addr := stack + uint64(b.rng.Intn(16))*isa.ElemSize
+					b.SStore(isa.S(5), isa.A(6), addr, true)
+					pend = append(pend, addr)
+				}
+				break
+			}
+			addr := work + uint64(b.rng.Intn(span))*isa.ElemSize
+			if b.rng.Intn(3) == 0 {
+				b.SStore(isa.S(4+b.rng.Intn(3)), isa.A(6), addr, false)
+			} else {
+				b.SLoad(isa.S(4+b.rng.Intn(3)), isa.A(6), addr, false)
+			}
+		case r < memPct+12:
+			b.Branch(isa.S(4))
+		case r < memPct+24:
+			b.AAdd(isa.A(6), isa.A(6), isa.None)
+		default:
+			dst := isa.S(4 + b.rng.Intn(4))
+			b.SOp(isa.OpAdd, dst, dst, isa.S(4))
+		}
+	}
+	// Reload any spills still outstanding so every pair completes.
+	for _, addr := range pend {
+		b.SLoad(isa.S(5), isa.A(6), addr, true)
+	}
+	b.EndBB()
+}
+
+// ScalarRecurrence emits a pointer-chase-like scalar loop: each load's
+// address depends on the previous loaded value, serializing on memory
+// latency. It models the scalar-dominated phases of poorly vectorized code.
+func (b *Builder) ScalarRecurrence(iters int) {
+	base := b.Array(iters + 1)
+	for i := 0; i < iters; i++ {
+		addr := base + uint64(i)*isa.ElemSize
+		b.SLoad(isa.A(7), isa.A(7), addr, false)
+		b.AAdd(isa.A(6), isa.A(7), isa.None)
+		b.Branch(isa.A(6))
+	}
+}
+
+// StridedSweep emits a column-walk loop (large constant stride), typical of
+// matrix sweeps along the non-contiguous dimension.
+func (b *Builder) StridedSweep(vl, iters int, stride int64) {
+	x, z := b.Array(vl*iters*int(stride)+1), b.Array(vl*iters*int(stride)+1)
+	b.SetVL(vl)
+	b.SetVS(stride)
+	step := uint64(vl) * uint64(stride) * isa.ElemSize
+	for i := 0; i < iters; i++ {
+		v0, v1 := isa.V(0), isa.V(1)
+		if i%2 == 1 {
+			v0, v1 = isa.V(4), isa.V(5)
+		}
+		off := uint64(i) * step
+		b.AAdd(isa.A(1), isa.A(1), isa.None)
+		b.VLoad(v0, isa.A(1), x+off, false)
+		b.VOp(isa.OpMul, v1, v0, isa.S(1))
+		b.AAdd(isa.A(2), isa.A(2), isa.None)
+		b.VStore(v1, isa.A(2), z+off, false)
+		b.loopCtl()
+	}
+	b.SetVS(1)
+}

@@ -1,0 +1,281 @@
+package tracegen
+
+import (
+	"testing"
+
+	"decvec/internal/isa"
+	"decvec/internal/trace"
+)
+
+// allKernels invokes every kernel once so structural tests cover them all.
+func allKernels(b *Builder) {
+	b.Daxpy(16, 3)
+	b.Copy(16, 2)
+	b.ComputeBound(16, 2, 5)
+	b.Stencil(16, 2)
+	b.Spill(16, 2, 2, 3)
+	b.SpillPipelined(16, 5, 2)
+	b.SpillEager(16, 5)
+	b.SoftPipeDaxpy(16, 4)
+	b.DotReduce(16, 3, true)
+	b.DotReduce(16, 3, false)
+	b.LoadBurst(16, 2, 4)
+	b.GatherScatter(16, 2)
+	b.ScalarBlock(60, 30, 50)
+	b.ScalarRecurrence(5)
+	b.StridedSweep(16, 2, 4)
+}
+
+func TestAllKernelsProduceValidTraces(t *testing.T) {
+	b := New("kernels", 1)
+	allKernels(b)
+	tr := b.Trace()
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := trace.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *trace.Slice {
+		b := New("d", 42)
+		allKernels(b)
+		return b.Trace()
+	}
+	a, c := mk(), mk()
+	if a.Len() != c.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), c.Len())
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != c.Insts[i] {
+			t.Fatalf("instruction %d differs: %s vs %s", i, a.Insts[i].String(), c.Insts[i].String())
+		}
+	}
+}
+
+func TestSeedChangesScalarBlock(t *testing.T) {
+	mk := func(seed int64) *trace.Slice {
+		b := New("s", seed)
+		b.ScalarBlock(100, 30, 0)
+		return b.Trace()
+	}
+	a, c := mk(1), mk(2)
+	same := a.Len() == c.Len()
+	if same {
+		for i := range a.Insts {
+			if a.Insts[i] != c.Insts[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical scalar blocks")
+	}
+}
+
+func TestSetVLDedup(t *testing.T) {
+	b := New("vl", 1)
+	b.SetVL(16)
+	b.SetVL(16) // no-op
+	b.SetVL(32)
+	tr := b.Trace()
+	count := 0
+	for _, in := range tr.Insts {
+		if in.Class == isa.ClassVSetVL {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("vsetvl count = %d, want 2", count)
+	}
+	if b.VL() != 32 {
+		t.Errorf("VL() = %d", b.VL())
+	}
+}
+
+func TestSetVLPanicsOutOfRange(t *testing.T) {
+	b := New("vl", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	b.SetVL(isa.MaxVL + 1)
+}
+
+func TestArrayRegionsDisjoint(t *testing.T) {
+	b := New("arr", 1)
+	a1 := b.Array(100)
+	a2 := b.Array(100)
+	if a2 < a1+100*isa.ElemSize {
+		t.Errorf("arrays overlap: %#x then %#x", a1, a2)
+	}
+}
+
+func TestSpillPairsAreIdentical(t *testing.T) {
+	// Every spill reload must exactly match an earlier spill store: same
+	// base, VL and stride — that is what makes it bypass-eligible.
+	b := New("spill", 1)
+	b.Spill(32, 4, 3, 2)
+	tr := b.Trace()
+	stores := map[uint64]isa.Inst{}
+	reloads := 0
+	for _, in := range tr.Insts {
+		if !in.Spill {
+			continue
+		}
+		switch in.Class {
+		case isa.ClassVectorStore:
+			stores[in.Base] = in
+		case isa.ClassVectorLoad:
+			reloads++
+			st, ok := stores[in.Base]
+			if !ok {
+				t.Fatalf("reload %s without a prior store", in.String())
+			}
+			if st.VL != in.VL || st.Stride != in.Stride {
+				t.Fatalf("spill pair mismatch: %s vs %s", st.String(), in.String())
+			}
+		}
+	}
+	if reloads != 12 { // 3 spills x 4 iterations
+		t.Errorf("reloads = %d, want 12", reloads)
+	}
+}
+
+func TestSpillPipelinedReloadTrailsStore(t *testing.T) {
+	// The reload of iteration i targets the slot stored in iteration i-1.
+	b := New("sp", 1)
+	b.SpillPipelined(16, 6, 1)
+	tr := b.Trace()
+	lastStore := map[uint64]int{}
+	for i, in := range tr.Insts {
+		if !in.Spill {
+			continue
+		}
+		switch in.Class {
+		case isa.ClassVectorStore:
+			lastStore[in.Base] = i
+		case isa.ClassVectorLoad:
+			at, ok := lastStore[in.Base]
+			if !ok {
+				t.Fatalf("reload at %d without prior store", i)
+			}
+			if i-at > 20 {
+				t.Errorf("reload at %d too far from store at %d", i, at)
+			}
+		}
+	}
+}
+
+func TestScalarBlockRespectsMemPct(t *testing.T) {
+	b := New("sb", 3)
+	b.ScalarBlock(2000, 20, 0)
+	st := trace.Collect(b.Trace())
+	frac := float64(st.MemInsts) / float64(st.ScalarInsts)
+	if frac < 0.12 || frac > 0.28 {
+		t.Errorf("memory fraction %.2f far from requested 0.20", frac)
+	}
+}
+
+func TestScalarBlockSpillPairsComplete(t *testing.T) {
+	// Every scalar spill store gets a matching reload (possibly in the
+	// trailing drain).
+	b := New("sb", 3)
+	b.ScalarBlock(500, 30, 80)
+	var stores, loads int
+	for _, in := range b.Trace().Insts {
+		if !in.Spill {
+			continue
+		}
+		switch in.Class {
+		case isa.ClassScalarStore:
+			stores++
+		case isa.ClassScalarLoad:
+			loads++
+		}
+	}
+	if stores == 0 {
+		t.Fatal("no scalar spills generated")
+	}
+	if stores != loads {
+		t.Errorf("spill stores %d != reloads %d", stores, loads)
+	}
+}
+
+func TestDotReduceCarriedUsesSAAQPath(t *testing.T) {
+	// The carried variant must contain address arithmetic reading an S
+	// register (the AP-waits-for-SP dependence).
+	b := New("dr", 1)
+	b.DotReduce(16, 3, true)
+	found := false
+	for _, in := range b.Trace().Insts {
+		if in.Class == isa.ClassScalarALU && in.Dst.Kind == isa.RegA && in.Src2.Kind == isa.RegS {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("carried reduction lacks the A<-S dependence")
+	}
+	// The uncarried variant must not have it.
+	b2 := New("dr2", 1)
+	b2.DotReduce(16, 3, false)
+	for _, in := range b2.Trace().Insts {
+		if in.Class == isa.ClassScalarALU && in.Dst.Kind == isa.RegA && in.Src2.Kind == isa.RegS {
+			t.Error("uncarried reduction has a carried dependence")
+		}
+	}
+}
+
+func TestLoadBurstClampsBurst(t *testing.T) {
+	b := New("lb", 1)
+	b.LoadBurst(16, 1, 99) // clamped to 6
+	loads := 0
+	for _, in := range b.Trace().Insts {
+		if in.Class == isa.ClassVectorLoad {
+			loads++
+		}
+	}
+	if loads != 6 {
+		t.Errorf("loads = %d, want 6", loads)
+	}
+}
+
+func TestStridedSweepUsesStride(t *testing.T) {
+	b := New("ss", 1)
+	b.StridedSweep(16, 2, 8)
+	found := false
+	for _, in := range b.Trace().Insts {
+		if in.Class == isa.ClassVectorLoad && in.Stride == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no strided load emitted")
+	}
+}
+
+func TestEndBBMarksLastInstruction(t *testing.T) {
+	b := New("bb", 1)
+	b.SOp(isa.OpAdd, isa.S(0), isa.S(1), isa.None)
+	b.EndBB()
+	tr := b.Trace()
+	if !tr.Insts[len(tr.Insts)-1].BBEnd {
+		t.Error("EndBB did not mark")
+	}
+}
+
+func TestEmitValidatesInstruction(t *testing.T) {
+	b := New("bad", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on invalid instruction")
+		}
+	}()
+	// Vector op without setting VL first (VL = -1 -> invalid).
+	b.VOp(isa.OpAdd, isa.V(0), isa.V(1), isa.None)
+}

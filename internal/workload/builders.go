@@ -1,0 +1,167 @@
+package workload
+
+import "decvec/internal/tracegen"
+
+// The build functions compose tracegen kernels into phase mixes calibrated
+// against Table 1 (see the calibration tests for the tolerance checks).
+// Each outer repetition interleaves the program's characteristic phases the
+// way real execution phases alternate; `u` scales the repetition count.
+//
+// Calibration targets per program: the scalar-instructions-per-vector-
+// instruction ratio from Table 1 (e.g. BDNA 239/19.6 ≈ 12.2), the average
+// vector length, and the spill fraction of memory operations from the
+// paper's reference [5].
+
+func buildARC2D(b *tracegen.Builder, u int) {
+	// 1.48 scalar instructions per vector instruction, avg VL 95,
+	// 12.2% spill.
+	for r := 0; r < u*2; r++ {
+		b.Stencil(112, 6)
+		b.ScalarBlock(26, 25, 15)
+		b.Daxpy(96, 3)
+		b.ScalarBlock(26, 25, 15)
+		b.Spill(112, 4, 1, 10)
+		b.ScalarBlock(26, 25, 15)
+		b.SoftPipeDaxpy(64, 6)
+		b.ScalarBlock(26, 25, 15)
+	}
+}
+
+func buildFLO52(b *tracegen.Builder, u int) {
+	// 1.65 scalar per vector instruction, avg VL 54, 11.9% spill.
+	for r := 0; r < u*3; r++ {
+		b.Stencil(56, 6)
+		b.ScalarBlock(35, 25, 10)
+		b.SoftPipeDaxpy(52, 5)
+		b.ScalarBlock(35, 25, 10)
+		b.Daxpy(48, 5)
+		b.ScalarBlock(35, 25, 10)
+		b.SpillPipelined(52, 6, 1)
+		b.ScalarBlock(35, 25, 10)
+	}
+}
+
+func buildBDNA(b *tracegen.Builder, u int) {
+	// 12.2 scalar per vector instruction, avg VL 81, 69.5% spill:
+	// register-pressure-heavy vector bodies spill three temporaries per
+	// iteration, and the abundant scalar glue spills too.
+	for r := 0; r < u; r++ {
+		for seg := 0; seg < 6; seg++ {
+			b.Spill(82, 2, 1, 6)
+			b.ScalarBlockSpan(290, 4, 70, 4096)
+		}
+		b.Daxpy(72, 2)
+		b.ScalarBlockSpan(90, 4, 70, 4096)
+	}
+}
+
+func buildTRFD(b *tracegen.Builder, u int) {
+	// 7.1 scalar per vector instruction, avg VL 22; spill-heavy kernels
+	// (Figure 8 shows the largest traffic reduction together with DYFESM).
+	for r := 0; r < u; r++ {
+		b.Daxpy(24, 6)
+		b.ScalarBlock(220, 8, 60)
+		b.ComputeBound(20, 4, 4)
+		b.ScalarBlock(220, 8, 60)
+		b.Spill(24, 6, 2, 2)
+		b.ScalarBlock(220, 8, 60)
+		b.SpillPipelined(22, 6, 2)
+		b.ScalarBlock(225, 8, 60)
+		b.DotReduce(20, 3, false)
+		b.ScalarBlock(225, 8, 60)
+	}
+}
+
+func buildDYFESM(b *tracegen.Builder, u int) {
+	// 5.9 scalar per vector instruction, avg VL 27. The dominant loop
+	// (~68% of vector operations) is chime-bound on both architectures and
+	// carries a cross-iteration spill; two loops have the distance-1
+	// reduction recurrence (§5: the processors run in lockstep there).
+	for r := 0; r < u; r++ {
+		b.SpillPipelined(28, 11, 2)
+		b.ScalarBlock(320, 8, 50)
+		b.SpillPipelined(28, 11, 2)
+		b.ScalarBlock(320, 8, 50)
+		b.DotReduce(28, 4, true)
+		b.ScalarBlock(320, 8, 50)
+		b.DotReduce(28, 4, true)
+		b.SoftPipeDaxpy(24, 3)
+		b.ScalarBlock(320, 8, 50)
+	}
+}
+
+func buildSPEC77(b *tracegen.Builder, u int) {
+	// 5.4 scalar per vector instruction, avg VL 18, only 3% spill. Bursts
+	// of independent loads let the AP run far ahead, filling the AVDQ
+	// (Figure 6); a 4-slot load queue hurts this program (§7).
+	for r := 0; r < u; r++ {
+		b.LoadBurst(18, 10, 6)
+		b.ScalarBlock(245, 10, 5)
+		b.LoadBurst(16, 6, 5)
+		b.ScalarBlock(245, 10, 5)
+		b.Daxpy(18, 6)
+		b.ScalarBlock(245, 10, 5)
+		b.DotReduce(18, 6, false)
+		b.Spill(18, 1, 1, 0)
+		b.ScalarBlock(245, 10, 5)
+	}
+}
+
+func buildMG3D(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(58, 8)
+		b.StridedSweep(58, 4, 8)
+		b.ScalarBlock(1700, 25, 0)
+		b.ScalarRecurrence(40)
+	}
+}
+
+func buildMDG(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(38, 4)
+		b.GatherScatter(38, 2)
+		b.ScalarBlock(1250, 25, 0)
+		b.ScalarRecurrence(60)
+	}
+}
+
+func buildADM(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(18, 4)
+		b.ComputeBound(18, 2, 3)
+		b.ScalarBlock(780, 25, 0)
+	}
+}
+
+func buildOCEAN(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.StridedSweep(45, 6, 16)
+		b.Daxpy(45, 4)
+		b.ScalarBlock(1250, 25, 0)
+		b.ScalarRecurrence(30)
+	}
+}
+
+func buildQCD(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(15, 3)
+		b.ScalarBlock(500, 25, 0)
+		b.ScalarRecurrence(50)
+	}
+}
+
+func buildTRACK(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(13, 2)
+		b.ScalarBlock(260, 25, 0)
+		b.ScalarRecurrence(70)
+	}
+}
+
+func buildSPICE(b *tracegen.Builder, u int) {
+	for r := 0; r < u; r++ {
+		b.Daxpy(10, 1)
+		b.ScalarBlock(180, 25, 0)
+		b.ScalarRecurrence(110)
+	}
+}
