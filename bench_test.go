@@ -126,3 +126,26 @@ func BenchmarkAblationQMov(b *testing.B) { benchExperiment(b, "ablation-qmov") }
 
 // BenchmarkExtensionPorts regenerates the second-memory-port comparison.
 func BenchmarkExtensionPorts(b *testing.B) { benchExperiment(b, "extension-ports") }
+
+// BenchmarkDVA_ARC2D_Recorded is BenchmarkDVA_ARC2D with an event recorder
+// attached; the delta against the plain benchmark is the cost of recording,
+// and the plain benchmark itself guards the disabled-recorder hot path.
+func BenchmarkDVA_ARC2D_Recorded(b *testing.B) {
+	w, err := decvec.LoadWorkload("ARC2D")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := w.Trace(benchScale)
+	cfg := decvec.DefaultConfig(30)
+	var simCycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := decvec.NewRecorder()
+		r, err := decvec.RunSourceRecorded(src, "DVA", cfg, rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += r.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "simcycles/s")
+}

@@ -1,17 +1,22 @@
 // Command dvasim runs one benchmark program on one architecture and prints
 // detailed statistics: cycle counts, the (FU2,FU1,LD) state breakdown,
-// memory traffic, queue occupancies and stall diagnostics.
+// memory traffic, queue occupancies and per-unit stall attribution.
 //
 // Usage:
 //
 //	dvasim -prog BDNA -arch DVA -latency 50 [-bypass] [-loadq 256] [-storeq 16] [-iq 16]
+//
+// Observability modes:
+//
+//	dvasim -prog BDNA -metrics-json metrics.json   # machine-readable summary
+//	dvasim -prog BDNA -metrics-json -              # ... on stdout (quiet)
+//	dvasim -prog BDNA -events trace.json           # chrome://tracing event file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"decvec"
@@ -19,14 +24,17 @@ import (
 
 func main() {
 	var (
-		prog    = flag.String("prog", "ARC2D", "program to simulate: "+strings.Join(decvec.Workloads(), ","))
-		arch    = flag.String("arch", "DVA", "architecture: REF, DVA or BYP")
-		latency = flag.Int64("latency", 50, "memory latency in cycles")
-		loadQ   = flag.Int("loadq", 256, "AVDQ (vector load queue) slots")
-		storeQ  = flag.Int("storeq", 16, "VADQ (vector store queue) slots")
-		iq      = flag.Int("iq", 16, "instruction queue slots")
-		jitter  = flag.Int64("jitter", 0, "per-access latency jitter in cycles (memory conflicts)")
-		infile  = flag.String("i", "", "simulate a binary trace file instead of a program model")
+		prog      = flag.String("prog", "ARC2D", "program to simulate: "+strings.Join(decvec.Workloads(), ","))
+		arch      = flag.String("arch", "DVA", "architecture: REF, DVA or BYP")
+		latency   = flag.Int64("latency", 50, "memory latency in cycles")
+		loadQ     = flag.Int("loadq", 256, "AVDQ (vector load queue) slots")
+		storeQ    = flag.Int("storeq", 16, "VADQ (vector store queue) slots")
+		iq        = flag.Int("iq", 16, "instruction queue slots")
+		jitter    = flag.Int64("jitter", 0, "per-access latency jitter in cycles (memory conflicts)")
+		infile    = flag.String("i", "", "simulate a binary trace file instead of a program model")
+		eventsOut = flag.String("events", "", "write a chrome://tracing event trace to this file ('-' for stdout)")
+		jsonOut   = flag.String("metrics-json", "", "write the metrics summary as JSON to this file ('-' for stdout)")
+		maxEvents = flag.Int("max-events", 0, "cap the recorded event stream (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -35,8 +43,17 @@ func main() {
 	cfg.VADQSize = *storeQ
 	cfg.IQSize = *iq
 	cfg.LatencyJitter = *jitter
-	if strings.ToUpper(*arch) == "BYP" {
+	archName := strings.ToUpper(*arch)
+	if archName == "BYP" {
 		cfg.Bypass = true
+	}
+
+	// Recording is only paid for when an event trace was requested; the
+	// metrics summary comes from the Result itself.
+	var rec *decvec.Recorder
+	if *eventsOut != "" {
+		rec = decvec.NewRecorder()
+		rec.MaxEvents = *maxEvents
 	}
 
 	var res *decvec.Result
@@ -45,45 +62,45 @@ func main() {
 	if *infile != "" {
 		f, err := os.Open(*infile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		src, err := decvec.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		name, desc = src.Name(), "trace file "+*infile
-		res, err = decvec.RunSource(src, strings.ToUpper(*arch), cfg)
+		res, err = decvec.RunSourceRecorded(src, archName, cfg, rec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		idealCycles = decvec.IdealCyclesOf(src)
 	} else {
 		w, err := decvec.LoadWorkload(*prog)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		name, desc = w.Name(), w.Description()
 		idealCycles = w.IdealCycles()
-		switch strings.ToUpper(*arch) {
-		case "REF":
-			res, err = w.RunREF(cfg)
-		case "DVA":
-			res, err = w.RunDVA(cfg)
-		case "BYP":
-			cfg.Bypass = true
-			res, err = w.RunDVA(cfg)
-		default:
-			err = fmt.Errorf("unknown architecture %q", *arch)
-		}
+		res, err = w.RunRecorded(archName, cfg, rec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
+	}
+
+	if *jsonOut != "" {
+		b, err := decvec.MetricsJSON(res)
+		if err != nil {
+			fatal(err)
+		}
+		writeOutput(*jsonOut, append(b, '\n'))
+	}
+	if *eventsOut != "" {
+		writeEvents(*eventsOut, res, rec)
+	}
+	// Machine-readable output on stdout suppresses the human report.
+	if *jsonOut == "-" || *eventsOut == "-" {
+		return
 	}
 
 	fmt.Printf("%s on %s (%s)\n", name, res.Arch, desc)
@@ -108,23 +125,55 @@ func main() {
 	if res.Arch != "REF" {
 		fmt.Printf("  bypasses:      %d (%d elements), store-queue flushes: %d\n",
 			res.Bypasses, res.BypassedElems, res.Flushes)
-		if len(res.Stalls) > 0 {
-			fmt.Println("  top stall causes:")
-			type kv struct {
-				k string
-				v int64
-			}
-			var stalls []kv
-			for k, v := range res.Stalls {
-				stalls = append(stalls, kv{k, v})
-			}
-			sort.Slice(stalls, func(i, j int) bool { return stalls[i].v > stalls[j].v })
-			for i, s := range stalls {
-				if i >= 6 {
-					break
-				}
-				fmt.Printf("    %-16s %10d\n", s.k, s.v)
-			}
-		}
 	}
+	fmt.Println()
+	fmt.Print(indent(decvec.StallTable(res)))
+	if len(res.Queues) > 0 {
+		fmt.Println()
+		fmt.Print(indent(decvec.QueueTable(res)))
+	}
+	if rec != nil && rec.Dropped > 0 {
+		fmt.Printf("\n  (event trace truncated: %d events dropped at -max-events %d)\n",
+			rec.Dropped, rec.MaxEvents)
+	}
+}
+
+func writeEvents(path string, res *decvec.Result, rec *decvec.Recorder) {
+	if path == "-" {
+		if err := decvec.WriteTraceEvents(os.Stdout, res, rec); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := decvec.WriteTraceEvents(f, res, rec); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func writeOutput(path string, b []byte) {
+	if path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+	os.Exit(1)
 }

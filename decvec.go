@@ -46,6 +46,34 @@ type Result = sim.Result
 // indexes its per-state cycle counts by State.
 type State = sim.State
 
+// Recorder collects the cycle-stamped event stream of a run (issues, stalls,
+// queue pushes/pops, bus grants, bypasses, flushes). A nil *Recorder disables
+// recording at zero cost; recording never changes simulated cycle counts.
+type Recorder = sim.Recorder
+
+// Event is one entry of a Recorder's stream.
+type Event = sim.Event
+
+// StallReason enumerates the per-unit stall causes of Result.Stalls.
+type StallReason = sim.StallReason
+
+// EventKind enumerates the event types of a Recorder's stream.
+type EventKind = sim.EventKind
+
+// Event kinds.
+const (
+	EvIssue     = sim.EvIssue
+	EvStall     = sim.EvStall
+	EvQueuePush = sim.EvQueuePush
+	EvQueuePop  = sim.EvQueuePop
+	EvBusGrant  = sim.EvBusGrant
+	EvBypass    = sim.EvBypass
+	EvFlush     = sim.EvFlush
+)
+
+// NewRecorder returns an empty, unbounded event recorder.
+func NewRecorder() *Recorder { return sim.NewRecorder() }
+
 // DefaultConfig returns the paper's main DVA configuration (instruction
 // queues 16, scalar queues 256, AVDQ 256, VADQ 16) at the given memory
 // latency in cycles.
@@ -126,6 +154,13 @@ func (w *Workload) RunDVA(cfg Config) (*Result, error) {
 	return dva.Run(w.p.CachedTrace(1), cfg)
 }
 
+// RunRecorded simulates the workload on the named architecture (REF, DVA or
+// BYP) with an event recorder attached; pass nil to disable recording.
+// Recording never changes the simulated cycle counts.
+func (w *Workload) RunRecorded(arch string, cfg Config, rec *Recorder) (*Result, error) {
+	return RunSourceRecorded(w.p.CachedTrace(1), arch, cfg, rec)
+}
+
 // RunOOO simulates the workload on the out-of-order, register-renaming
 // extension of the reference architecture (the paper's §8 comparison) with
 // the given issue-window and physical vector-register pool sizes.
@@ -165,18 +200,41 @@ func IdealCyclesOf(src trace.Source) int64 {
 // RunSource simulates an arbitrary trace source (for example one built
 // with the tracegen kernels) on REF or DVA.
 func RunSource(src trace.Source, arch string, cfg Config) (*Result, error) {
+	return RunSourceRecorded(src, arch, cfg, nil)
+}
+
+// RunSourceRecorded is RunSource with an event recorder attached; pass nil
+// to disable recording (equivalent to RunSource).
+func RunSourceRecorded(src trace.Source, arch string, cfg Config, rec *Recorder) (*Result, error) {
 	switch arch {
 	case "REF", "ref":
-		return ref.Run(src, cfg)
+		return ref.RunRecorded(src, cfg, rec)
 	case "DVA", "dva", "BYP", "byp":
 		if arch == "BYP" || arch == "byp" {
 			cfg.Bypass = true
 		}
-		return dva.Run(src, cfg)
+		return dva.RunRecorded(src, cfg, rec)
 	default:
 		return nil, fmt.Errorf("decvec: unknown architecture %q (want REF, DVA or BYP)", arch)
 	}
 }
+
+// MetricsJSON renders a result — cycle counts, state breakdown, stall
+// attribution and queue occupancy — as indented machine-readable JSON.
+func MetricsJSON(res *Result) ([]byte, error) { return report.MetricsJSON(res) }
+
+// WriteTraceEvents writes a recorded event stream as a Trace Event Format
+// JSON file loadable in chrome://tracing or Perfetto.
+func WriteTraceEvents(w io.Writer, res *Result, rec *Recorder) error {
+	return report.WriteTraceEvents(w, res, rec)
+}
+
+// StallTable renders the nonzero stall causes of a result as an ASCII table.
+func StallTable(res *Result) string { return report.StallTable(res) }
+
+// QueueTable renders the per-queue occupancy stats of a result as an ASCII
+// table.
+func QueueTable(res *Result) string { return report.QueueTable(res) }
 
 // ExperimentNames lists the regenerable paper experiments.
 func ExperimentNames() []string {

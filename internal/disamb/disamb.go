@@ -36,8 +36,15 @@ func RangeOf(in *isa.Inst) Range {
 		if span >= 0 {
 			return Range{Lo: in.Base, Hi: in.Base + uint64(span) + isa.ElemSize}
 		}
-		// Negative stride: the last element is at the lowest address.
-		return Range{Lo: in.Base - uint64(-span), Hi: in.Base + isa.ElemSize}
+		// Negative stride: the last element is at the lowest address. A
+		// reference whose span reaches below address 0 is clamped there
+		// instead of wrapping around (which would produce Lo > Hi and make
+		// Overlaps silently miss every conflict).
+		lo := uint64(0)
+		if down := uint64(-span); down <= in.Base {
+			lo = in.Base - down
+		}
+		return Range{Lo: lo, Hi: in.Base + isa.ElemSize}
 	default:
 		panic(fmt.Sprintf("disamb: RangeOf on non-memory instruction %s", in))
 	}

@@ -236,3 +236,123 @@ func TestCheckMatchesBruteForce_Quick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A negative-stride reference whose span reaches below address 0 must clamp
+// Lo at 0 instead of wrapping around. Pre-clamp, Lo wrapped to ~2^64 and the
+// range became empty (Lo > Hi), so every conflict against it was missed.
+func TestRangeOfNegativeStrideUnderflow(t *testing.T) {
+	// Elements at 0x20, then stepping down 0x80 bytes per element: the
+	// second element is already below address 0.
+	ld := vload(0, 0x20, 8, -16)
+	r := RangeOf(ld)
+	if r.Lo > r.Hi {
+		t.Fatalf("inverted range %v: Lo must be clamped, not wrapped", r)
+	}
+	if r.Lo != 0 || r.Hi != 0x28 {
+		t.Errorf("got %v, want [0x0,0x28)", r)
+	}
+}
+
+// The underflow also has to be caught by Check: a store near address 0 must
+// conflict with an underflowing negative-stride load.
+func TestCheckNegativeStrideUnderflowConflict(t *testing.T) {
+	ld := vload(10, 0x20, 8, -16)
+	st := vstore(4, 0x0, 4, 1) // [0x0, 0x20)
+	c := Check(ld, pend(st))
+	if !c.Hazard || c.YoungestSeq != 4 {
+		t.Errorf("underflowing load must conflict with store near 0: %+v", c)
+	}
+}
+
+// Property: RangeOf never produces an inverted interval, whatever the base,
+// length and stride.
+func TestRangeOfNeverInverted_Quick(t *testing.T) {
+	f := func(base uint32, vl uint8, stride int16) bool {
+		ld := vload(0, uint64(base), int(vl%64)+1, int64(stride))
+		r := RangeOf(ld)
+		return r.Lo <= r.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// One-element vectors: the range is a single element regardless of stride,
+// and conflicts behave like scalar accesses.
+func TestRangeOfOneElement(t *testing.T) {
+	for _, stride := range []int64{1, 7, -7, -1000} {
+		r := RangeOf(vload(0, 0x1000, 1, stride))
+		if r.Lo != 0x1000 || r.Hi != 0x1000+isa.ElemSize {
+			t.Errorf("stride %d: got %v", stride, r)
+		}
+	}
+	// A one-element load against a one-element store at the same address.
+	c := Check(vload(10, 0x1000, 1, -5), pend(vstore(3, 0x1000, 1, 9)))
+	if !c.Hazard || c.YoungestSeq != 3 || c.BypassSeq != 3 {
+		t.Errorf("VL=1 same-address pair must hazard and bypass: %+v", c)
+	}
+}
+
+// Gathers and scatters define all memory, so they conflict with everything —
+// including each other and one-element accesses far away.
+func TestCheckGatherScatterAllMemory(t *testing.T) {
+	g := &isa.Inst{Seq: 10, Class: isa.ClassGather, Dst: isa.V(0), Base: 0x100, VL: 4, Stride: 1}
+	sc := &isa.Inst{Seq: 2, Class: isa.ClassScatter, Dst: isa.V(1), Base: 0xffff_0000, VL: 4, Stride: 1}
+	c := Check(g, pend(sc))
+	if !c.Hazard || c.YoungestSeq != 2 {
+		t.Errorf("gather vs scatter must always conflict: %+v", c)
+	}
+	if c.BypassSeq != -1 {
+		t.Errorf("gather must never be bypass-eligible: %+v", c)
+	}
+	// Scatter also blocks a distant strided load.
+	c = Check(vload(10, 0x5000, 4, 1), pend(sc))
+	if !c.Hazard {
+		t.Errorf("scatter must conflict with any load: %+v", c)
+	}
+}
+
+// Bypass eligibility is a property of the youngest overlapping store only:
+// an older identical store shadowed by a younger overlapping non-identical
+// one must not offer its stale data, while a younger identical store over
+// an older overlap restores eligibility. In all cases BypassSeq is either -1
+// or equal to YoungestSeq.
+func TestCheckBypassShadowing(t *testing.T) {
+	ld := vload(10, 0x1000, 16, 1)
+	identicalOld := vstore(3, 0x1000, 16, 1)   // identical to the load
+	overlapYoung := vstore(7, 0x1040, 16, 1)   // overlaps, not identical
+	identicalYoung := vstore(8, 0x1000, 16, 1) // identical again, youngest
+
+	c := Check(ld, pend(identicalOld, overlapYoung))
+	if !c.Hazard || c.YoungestSeq != 7 || c.BypassSeq != -1 {
+		t.Errorf("shadowed identical store must not bypass: %+v", c)
+	}
+
+	c = Check(ld, pend(identicalOld, overlapYoung, identicalYoung))
+	if !c.Hazard || c.YoungestSeq != 8 || c.BypassSeq != 8 {
+		t.Errorf("youngest identical store must restore bypass: %+v", c)
+	}
+	if c.BypassSeq != c.YoungestSeq {
+		t.Errorf("BypassSeq must equal YoungestSeq when eligible: %+v", c)
+	}
+}
+
+// Property: BypassSeq is -1 or YoungestSeq — never an older store.
+func TestCheckBypassIsYoungest_Quick(t *testing.T) {
+	f := func(loBase uint16, stores [4]struct {
+		Base uint16
+		VL   uint8
+	}) bool {
+		ld := vload(100, 0x1000+uint64(loBase), 8, 1)
+		var ps []PendingStore
+		for i, s := range stores {
+			st := vstore(int64(i), 0x1000+uint64(s.Base), int(s.VL%32)+1, 1)
+			ps = append(ps, PendingStore{Inst: st, Range: RangeOf(st)})
+		}
+		c := Check(ld, ps)
+		return c.BypassSeq == -1 || c.BypassSeq == c.YoungestSeq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"decvec/internal/disamb"
 	"decvec/internal/isa"
+	"decvec/internal/sim"
 )
 
 // stepAP advances the address processor by one cycle: it issues at most one
@@ -22,12 +23,18 @@ func (m *machine) stepAP() {
 		// A prior load found a hazard: every store up to the youngest
 		// offender must reach memory before the AP resumes (§4.2).
 		if m.oldestPendingStoreSeq() <= m.flushWaitSeq {
-			m.stall("AP.flush")
+			m.stall(sim.StallAPFlush)
 			return
 		}
 		m.flushWaitSeq = -1
 	}
+	seq, class, pops := u.in.Seq, u.in.Class, m.apIQ.Pops()
 	in := &u.in
+	defer func() {
+		if m.rec != nil && m.apIQ.Pops() > pops {
+			m.rec.Issue(m.now, sim.ProcAP, seq, class.String())
+		}
+	}()
 	switch in.Class {
 	case isa.ClassScalarALU:
 		m.apScalarALU(in)
@@ -80,7 +87,7 @@ func (m *machine) apConsumeSrcs(in *isa.Inst) {
 
 func (m *machine) apScalarALU(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	m.apConsumeSrcs(in)
@@ -93,11 +100,11 @@ func (m *machine) apScalarALU(in *isa.Inst) {
 
 func (m *machine) apBranch(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	if m.afbq.Full() {
-		m.stall("AP.afbq")
+		m.stall(sim.StallAPAFBQ)
 		return
 	}
 	m.apConsumeSrcs(in)
@@ -138,19 +145,20 @@ func (m *machine) oldestPendingStoreSeq() int64 {
 
 func (m *machine) apScalarLoad(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	if c := disamb.Check(in, m.pendingStores()); c.Hazard {
 		// Scalar loads never bypass; drain the offending stores.
 		m.flushWaitSeq = c.YoungestSeq
 		m.flushes++
-		m.stall("AP.hazard")
+		m.rec.Flush(m.now, c.YoungestSeq)
+		m.stall(sim.StallAPHazard)
 		return
 	}
 	toS := in.Dst.Kind == isa.RegS
 	if toS && m.asdq.Full() {
-		m.stall("AP.asdq")
+		m.stall(sim.StallAPASDQ)
 		return
 	}
 	var dataAt int64
@@ -159,12 +167,12 @@ func (m *machine) apScalarLoad(in *isa.Inst) {
 		dataAt = m.now + 1
 	} else {
 		if !m.bus.FreeAt(m.now) {
-			m.stall("AP.bus")
+			m.stall(sim.StallAPBus)
 			return
 		}
 		m.cache.Lookup(in.Base)
 		m.bus.Reserve(m.now, 1)
-		m.lastBusLoad = true
+		m.rec.BusGrant(m.now, sim.ProcAP, in.Seq, 1)
 		m.traffic.LoadElems++
 		dataAt = m.now + 1 + m.cfg.AccessLatency(in.Base, in.Seq)
 	}
@@ -180,11 +188,11 @@ func (m *machine) apScalarLoad(in *isa.Inst) {
 
 func (m *machine) apScalarStore(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	if m.ssaq.Full() {
-		m.stall("AP.ssaq")
+		m.stall(sim.StallAPSSAQ)
 		return
 	}
 	entry := storeAddr{
@@ -208,11 +216,11 @@ func (m *machine) apScalarStore(in *isa.Inst) {
 
 func (m *machine) apVectorLoad(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	if m.avdq.Full() {
-		m.stall("AP.avdq")
+		m.stall(sim.StallAPAVDQ)
 		return
 	}
 	vl := int64(in.VL)
@@ -224,16 +232,17 @@ func (m *machine) apVectorLoad(in *isa.Inst) {
 		}
 		m.flushWaitSeq = c.YoungestSeq
 		m.flushes++
-		m.stall("AP.hazard")
+		m.rec.Flush(m.now, c.YoungestSeq)
+		m.stall(sim.StallAPHazard)
 		return
 	}
 	if !m.bus.FreeAt(m.now) {
-		m.stall("AP.bus")
+		m.stall(sim.StallAPBus)
 		return
 	}
 	m.apConsumeSrcs(in)
 	m.bus.Reserve(m.now, vl)
-	m.lastBusLoad = true
+	m.rec.BusGrant(m.now, sim.ProcAP, in.Seq, vl)
 	m.traffic.LoadElems += vl
 	m.avdq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.AccessLatency(in.Base, in.Seq) + vl})
 	m.apIQ.Pop(m.now)
@@ -246,7 +255,7 @@ func (m *machine) apVectorLoad(in *isa.Inst) {
 // proceed in parallel — the "illusion of two memory ports".
 func (m *machine) apTryBypass(in *isa.Inst, storeSeq, vl int64) {
 	if m.now < m.bypassBusyUntil {
-		m.stall("AP.bypassUnit")
+		m.stall(sim.StallAPBypassUnit)
 		return
 	}
 	// The store's data must have arrived in the VADQ.
@@ -259,7 +268,7 @@ func (m *machine) apTryBypass(in *isa.Inst, storeSeq, vl int64) {
 		return true
 	})
 	if !dataReady {
-		m.stall("AP.bypassData")
+		m.stall(sim.StallAPBypassData)
 		return
 	}
 	m.apConsumeSrcs(in)
@@ -272,17 +281,18 @@ func (m *machine) apTryBypass(in *isa.Inst, storeSeq, vl int64) {
 	})
 	m.bypasses++
 	m.bypElems += vl
+	m.rec.Bypass(m.now, in.Seq, vl)
 	m.apIQ.Pop(m.now)
 	m.progress()
 }
 
 func (m *machine) apVectorStore(in *isa.Inst) {
 	if !m.apSrcsReady(in) {
-		m.stall("AP.data")
+		m.stall(sim.StallAPData)
 		return
 	}
 	if m.vsaq.Full() {
-		m.stall("AP.vsaq")
+		m.stall(sim.StallAPVSAQ)
 		return
 	}
 	m.apConsumeSrcs(in)
@@ -337,11 +347,19 @@ func (m *machine) stepStoreEngine() {
 	default:
 		return
 	}
-	if !m.storeDataReady(&st) || !m.bus.FreeAt(m.now) {
+	if !m.storeDataReady(&st) {
+		m.stall(sim.StallSTData)
+		return
+	}
+	if !m.bus.FreeAt(m.now) {
+		m.stall(sim.StallSTBus)
 		return
 	}
 	m.bus.Reserve(m.now, st.vl)
-	m.lastBusLoad = false
+	if m.rec != nil {
+		m.rec.BusGrant(m.now, sim.ProcST, st.seq, st.vl)
+		m.rec.Issue(m.now, sim.ProcST, st.seq, st.inst.Class.String())
+	}
 	m.traffic.StoreElems += st.vl
 	m.storeActive = true
 	m.storeIsVector = st.isVector

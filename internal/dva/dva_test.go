@@ -433,3 +433,37 @@ func TestBranchesDoNotStallFetch(t *testing.T) {
 		t.Errorf("BasicBlocks = %d", r.Counts.BasicBlocks)
 	}
 }
+
+func TestLoadStreakCannotStarveStores(t *testing.T) {
+	// Alternating store/load pairs with a tiny VSAQ. Loads normally win
+	// every bus race (the AP steps before the store engine), so each pair
+	// queues a store while draining none: without the storePressure
+	// priority flip the VSAQ fills and the AP stalls on store pushes. The
+	// flip hands the store engine the bus as soon as a queue is half full,
+	// so a store push must never find the VSAQ full.
+	cfg := testCfg(20)
+	cfg.VSAQSize = 4
+	cfg.VADQSize = 4
+	var insts []isa.Inst
+	insts = append(insts, vadd(isa.V(0), isa.None, isa.None, 8))
+	for i := 0; i < 24; i++ {
+		insts = append(insts,
+			vst(isa.V(0), 0x10_0000+uint64(i)*0x100, 8),
+			vld(isa.V(1+i%4), 0x80_0000+uint64(i)*0x100, 8))
+	}
+	r := run(t, cfg, insts...)
+
+	if n := r.Stalls[sim.StallAPVSAQ]; n != 0 {
+		t.Errorf("AP stalled %d cycles on a full VSAQ; pressure arbitration must bound the backlog", n)
+	}
+	q, ok := r.QueueStatNamed("VSAQ")
+	if !ok {
+		t.Fatal("no VSAQ stats")
+	}
+	if q.Pushes != 24 {
+		t.Errorf("VSAQ pushes = %d, want 24", q.Pushes)
+	}
+	if r.Traffic.StoreElems != 24*8 {
+		t.Errorf("StoreElems = %d, want %d", r.Traffic.StoreElems, 24*8)
+	}
+}

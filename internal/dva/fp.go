@@ -5,6 +5,7 @@ import (
 
 	"decvec/internal/isa"
 	"decvec/internal/queue"
+	"decvec/internal/sim"
 )
 
 // push is one queue insertion the fetch processor must perform to dispatch
@@ -66,7 +67,7 @@ func (m *machine) stepFetch() {
 			continue // counted at the first occurrence
 		}
 		if pushes[i].q.Cap()-pushes[i].q.Len() < need {
-			m.stall("FP")
+			m.stall(sim.StallFPDispatch)
 			return
 		}
 	}
@@ -74,6 +75,9 @@ func (m *machine) stepFetch() {
 		if !p.q.Push(m.now, p.u) {
 			panic("dva: dispatch push failed after capacity check")
 		}
+	}
+	if m.rec != nil {
+		m.rec.Issue(m.now, sim.ProcFP, m.pending.Seq, m.pending.Class.String())
 	}
 	m.hasPending = false
 	m.progress()

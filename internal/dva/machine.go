@@ -51,10 +51,6 @@ type machine struct {
 	storeActive   bool
 	storeIsVector bool
 	storeDoneAt   int64
-	// lastBusLoad arbitrates the shared address bus fairly: after a load
-	// used the bus, the store engine gets the first shot at the next free
-	// bus cycle, and vice versa, so neither stream starves the other.
-	lastBusLoad bool
 
 	// Scalar processor.
 	sReady [isa.NumSRegs]int64
@@ -75,7 +71,10 @@ type machine struct {
 	bypasses int64
 	bypElems int64
 	flushes  int64
-	stalls   map[string]int64
+	stalls   sim.StallCounts
+	// rec is the optional event recorder; nil when disabled. Recording is
+	// strictly passive and never influences a timing decision.
+	rec *sim.Recorder
 
 	lastProgress int64
 }
@@ -85,10 +84,24 @@ type machine struct {
 // result. It returns an error for invalid configurations or if the machine
 // deadlocks, which would indicate a malformed trace.
 func Run(src trace.Source, cfg sim.Config) (*sim.Result, error) {
+	return RunRecorded(src, cfg, nil)
+}
+
+// RunRecorded is Run with an optional event recorder. Recording is passive:
+// the returned result is bit-identical to a run with rec nil; the recorder
+// additionally collects the cycle-stamped event stream (issues, stalls,
+// queue pushes/pops, bus grants, bypasses, flushes).
+func RunRecorded(src trace.Source, cfg sim.Config, rec *sim.Recorder) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	m := newMachine(src, cfg)
+	if rec != nil {
+		m.rec = rec
+		for _, q := range m.allQueues() {
+			q.SetObserver(rec)
+		}
+	}
 	if err := m.run(); err != nil {
 		return nil, fmt.Errorf("dva: %s on %s: %w", cfg.String(), src.Name(), err)
 	}
@@ -111,7 +124,49 @@ func Run(src trace.Source, cfg sim.Config) (*sim.Result, error) {
 		ScalarCacheHits:   m.cache.Hits,
 		ScalarCacheMisses: m.cache.Misses,
 		Stalls:            m.stalls,
+		Queues:            m.queueStats(),
 	}, nil
+}
+
+// queueMeta is the statistics surface every architectural queue exposes,
+// independent of its element type.
+type queueMeta interface {
+	Name() string
+	Cap() int
+	Pushes() int64
+	Pops() int64
+	PeakLen() int
+	MeanLen(now int64) float64
+	FullCycles(now int64) int64
+	SetObserver(queue.Observer)
+}
+
+// allQueues lists every architectural queue of the machine.
+func (m *machine) allQueues() []queueMeta {
+	return []queueMeta{
+		m.apIQ, m.spIQ, m.vpIQ,
+		m.avdq, m.vadq,
+		m.asdq, m.sadq, m.svdq, m.vsdq, m.saaq,
+		m.ssaq, m.vsaq,
+		m.afbq, m.sfbq,
+	}
+}
+
+// queueStats summarizes every queue's occupancy over the finished run.
+func (m *machine) queueStats() []sim.QueueStat {
+	qs := make([]sim.QueueStat, 0, 14)
+	for _, q := range m.allQueues() {
+		qs = append(qs, sim.QueueStat{
+			Name:       q.Name(),
+			Cap:        q.Cap(),
+			Pushes:     q.Pushes(),
+			Pops:       q.Pops(),
+			Peak:       q.PeakLen(),
+			MeanLen:    q.MeanLen(m.now),
+			FullCycles: q.FullCycles(m.now),
+		})
+	}
+	return qs
 }
 
 func newMachine(src trace.Source, cfg sim.Config) *machine {
@@ -139,7 +194,6 @@ func newMachine(src trace.Source, cfg sim.Config) *machine {
 		qmovBusy:     make([]int64, cfg.QMovUnits),
 		avdqHist:     sim.NewHistogram(cfg.AVDQSize),
 		vadqHist:     sim.NewHistogram(cfg.VADQSize),
-		stalls:       make(map[string]int64),
 	}
 }
 
@@ -231,10 +285,20 @@ func (m *machine) sample() {
 	m.vadqHist.Observe(m.vadq.Len())
 }
 
-func (m *machine) stall(who string) { m.stalls[who]++ }
+// stall accounts one cycle in which a unit could not make progress and,
+// when recording, emits the matching event.
+func (m *machine) stall(r sim.StallReason) {
+	m.stalls[r]++
+	m.rec.Stall(m.now, r)
+}
 
 // storePressure reports whether either store address queue is at least
 // half full, at which point queued stores outrank new loads for the bus.
+// This pressure threshold is the machine's load/store bus arbitration:
+// loads normally have absolute priority (they sit on the critical path;
+// stores never stall the processor, §4.2), and the priority flip bounds how
+// far a long load streak can back the store queues up — see
+// TestLoadStreakCannotStarveStores for the guarantee.
 func (m *machine) storePressure() bool {
 	return m.vsaq.Len()*2 >= m.vsaq.Cap() || m.ssaq.Len()*2 >= m.ssaq.Cap()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"decvec/internal/isa"
+	"decvec/internal/sim"
 )
 
 // stepSP advances the scalar processor by one cycle. The SP issues one
@@ -15,6 +16,12 @@ func (m *machine) stepSP() {
 	if !ok {
 		return
 	}
+	seq, label, pops := u.in.Seq, uopLabel(u), m.spIQ.Pops()
+	defer func() {
+		if m.rec != nil && m.spIQ.Pops() > pops {
+			m.rec.Issue(m.now, sim.ProcSP, seq, label)
+		}
+	}()
 	in := &u.in
 	switch u.kind {
 	case uExec:
@@ -23,7 +30,7 @@ func (m *machine) stepSP() {
 		// ASDQ -> S register: the result of a scalar load.
 		s, ok := m.asdq.Peek(m.now)
 		if !ok || s.readyAt > m.now {
-			m.stall("SP.asdq")
+			m.stall(sim.StallSPASDQ)
 			return
 		}
 		if s.seq != in.Seq {
@@ -37,7 +44,7 @@ func (m *machine) stepSP() {
 		// VSDQ -> S register: a reduction result computed by the VP.
 		s, ok := m.vsdq.Peek(m.now)
 		if !ok || s.readyAt > m.now {
-			m.stall("SP.vsdq")
+			m.stall(sim.StallSPVSDQ)
 			return
 		}
 		if s.seq != in.Seq {
@@ -75,11 +82,11 @@ func (m *machine) spMoveOut(in *isa.Inst, src isa.Reg, q interface {
 		panic(fmt.Sprintf("dva: QMOV out of non-S register %v in %s", src, in))
 	}
 	if m.sReady[src.Idx] > m.now {
-		m.stall("SP.data")
+		m.stall(sim.StallSPData)
 		return
 	}
 	if q.Full() {
-		m.stall("SP.queueFull")
+		m.stall(sim.StallSPQueueFull)
 		return
 	}
 	q.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + 1})
@@ -95,7 +102,7 @@ func (m *machine) spExec(in *isa.Inst) {
 		switch src.Kind {
 		case isa.RegS:
 			if m.sReady[src.Idx] > m.now {
-				m.stall("SP.data")
+				m.stall(sim.StallSPData)
 				return
 			}
 		case isa.RegA:
@@ -111,7 +118,7 @@ func (m *machine) spExec(in *isa.Inst) {
 		}
 	case isa.ClassBranch:
 		if m.sfbq.Full() {
-			m.stall("SP.sfbq")
+			m.stall(sim.StallSPSFBQ)
 			return
 		}
 		m.sfbq.Push(m.now, in.Seq)

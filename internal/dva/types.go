@@ -66,6 +66,16 @@ type uop struct {
 	in   isa.Inst
 }
 
+// uopLabel names a uop for the event stream: the instruction class for
+// ordinary instructions, the QMOV name otherwise. Both come from static
+// tables, so labelling allocates nothing.
+func uopLabel(u *uop) string {
+	if u.kind == uExec {
+		return u.in.Class.String()
+	}
+	return u.kind.String()
+}
+
 // vslot is one entry of a vector data queue (AVDQ or VADQ): a slot holds a
 // whole vector register's worth of data. readyAt is the cycle at which the
 // last element has arrived in the slot; until then the slot is reserved but

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"decvec/internal/isa"
+	"decvec/internal/sim"
 )
 
 // stepVP advances the vector processor by one cycle. The VP is the vector
@@ -15,6 +16,12 @@ func (m *machine) stepVP() {
 	if !ok {
 		return
 	}
+	seq, label, pops := u.in.Seq, uopLabel(u), m.vpIQ.Pops()
+	defer func() {
+		if m.rec != nil && m.vpIQ.Pops() > pops {
+			m.rec.Issue(m.now, sim.ProcVP, seq, label)
+		}
+	}()
 	in := &u.in
 	switch u.kind {
 	case uExec:
@@ -86,7 +93,7 @@ func (m *machine) vpQMovLoad(in *isa.Inst) {
 	idx := len(m.drains)
 	v, ok := m.avdq.PeekAt(m.now, idx)
 	if !ok || v.readyAt > m.now {
-		m.stall("VP.avdq")
+		m.stall(sim.StallVPAVDQ)
 		return
 	}
 	if v.seq != in.Seq {
@@ -94,11 +101,11 @@ func (m *machine) vpQMovLoad(in *isa.Inst) {
 	}
 	unit := m.freeQMovUnit()
 	if unit < 0 {
-		m.stall("VP.qmovUnit")
+		m.stall(sim.StallVPQMovUnit)
 		return
 	}
 	if !m.vDstReady(in.Dst) {
-		m.stall("VP.dstHazard")
+		m.stall(sim.StallVPDstHazard)
 		return
 	}
 	vl := int64(in.VL)
@@ -116,16 +123,16 @@ func (m *machine) vpQMovLoad(in *isa.Inst) {
 // It can chain off a functional unit still producing the register.
 func (m *machine) vpQMovStore(in *isa.Inst) {
 	if m.vadq.Full() {
-		m.stall("VP.vadq")
+		m.stall(sim.StallVPVADQ)
 		return
 	}
 	unit := m.freeQMovUnit()
 	if unit < 0 {
-		m.stall("VP.qmovUnit")
+		m.stall(sim.StallVPQMovUnit)
 		return
 	}
 	if !m.vSrcReady(in.Dst) { // store data register travels in Dst
-		m.stall("VP.data")
+		m.stall(sim.StallVPData)
 		return
 	}
 	vl := int64(in.VL)
@@ -142,7 +149,7 @@ func (m *machine) vpExec(in *isa.Inst) {
 	// Vector register sources.
 	for _, src := range [...]isa.Reg{in.Src1, in.Src2} {
 		if src.Kind == isa.RegV && !m.vSrcReady(src) {
-			m.stall("VP.data")
+			m.stall(sim.StallVPData)
 			return
 		}
 	}
@@ -151,7 +158,7 @@ func (m *machine) vpExec(in *isa.Inst) {
 	if usesSVDQ {
 		s, ok := m.svdq.Peek(m.now)
 		if !ok || s.readyAt > m.now {
-			m.stall("VP.svdq")
+			m.stall(sim.StallVPSVDQ)
 			return
 		}
 		if s.seq != in.Seq {
@@ -162,11 +169,11 @@ func (m *machine) vpExec(in *isa.Inst) {
 	isReduce := in.Class == isa.ClassReduce
 	if isReduce {
 		if m.vsdq.Full() {
-			m.stall("VP.vsdq")
+			m.stall(sim.StallVPVSDQ)
 			return
 		}
 	} else if !m.vDstReady(in.Dst) {
-		m.stall("VP.dstHazard")
+		m.stall(sim.StallVPDstHazard)
 		return
 	}
 	// Functional unit: prefer FU1 for FU1-capable work so FU2 stays free
@@ -177,7 +184,7 @@ func (m *machine) vpExec(in *isa.Inst) {
 	case m.fu2Busy <= m.now:
 		m.fu2Busy = m.now + vl
 	default:
-		m.stall("VP.fu")
+		m.stall(sim.StallVPFU)
 		return
 	}
 	if usesSVDQ {

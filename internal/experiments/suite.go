@@ -41,14 +41,20 @@ const (
 
 // Suite runs simulations for the experiment drivers, caching results so
 // that figures sharing runs (3, 4 and 5 use identical sweeps) simulate each
-// configuration exactly once. A Suite is safe for concurrent use.
+// configuration exactly once — also under concurrency: duplicate requests
+// for an in-flight key wait for the first caller instead of re-simulating.
+// A Suite is safe for concurrent use.
 type Suite struct {
 	// Scale is the trace scale factor (1.0 = default trace sizes).
 	Scale float64
 
-	mu    sync.Mutex
-	cache map[suiteKey]*sim.Result
-	ideal map[string]ideal.Bound
+	mu       sync.Mutex
+	cache    map[suiteKey]*sim.Result
+	inflight map[suiteKey]*flight
+	ideal    map[string]ideal.Bound
+	idealInF map[string]*flight
+
+	sims int64 // simulations actually executed (see Simulations)
 }
 
 type suiteKey struct {
@@ -57,20 +63,39 @@ type suiteKey struct {
 	cfg     sim.Config
 }
 
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{} // closed when r/err (or bound) are set
+	r    *sim.Result
+	err  error
+	b    ideal.Bound
+}
+
 // NewSuite returns an empty suite at the given trace scale.
 func NewSuite(scale float64) *Suite {
 	if scale <= 0 {
 		scale = workload.DefaultScale
 	}
 	return &Suite{
-		Scale: scale,
-		cache: make(map[suiteKey]*sim.Result),
-		ideal: make(map[string]ideal.Bound),
+		Scale:    scale,
+		cache:    make(map[suiteKey]*sim.Result),
+		inflight: make(map[suiteKey]*flight),
+		ideal:    make(map[string]ideal.Bound),
+		idealInF: make(map[string]*flight),
 	}
+}
+
+// Simulations returns the number of simulator invocations the suite has
+// performed; cache and singleflight hits do not count.
+func (s *Suite) Simulations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sims
 }
 
 // Run simulates program p on the given architecture and configuration,
 // returning a cached result when the identical run has been done before.
+// Concurrent calls for the same key share a single simulation.
 func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
 	s.mu.Lock()
@@ -78,8 +103,31 @@ func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result
 		s.mu.Unlock()
 		return r, nil
 	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.r, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.sims++
 	s.mu.Unlock()
 
+	f.r, f.err = s.simulate(p, arch, cfg)
+
+	s.mu.Lock()
+	// Errors are not cached: a later retry gets a fresh attempt.
+	if f.err == nil {
+		s.cache[key] = f.r
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.r, f.err
+}
+
+// simulate performs one uncached simulator invocation.
+func (s *Suite) simulate(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	tr := p.CachedTrace(s.Scale)
 	var (
 		r   *sim.Result
@@ -96,25 +144,34 @@ func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, p.Name, err)
 	}
-	s.mu.Lock()
-	s.cache[key] = r
-	s.mu.Unlock()
 	return r, nil
 }
 
 // Ideal returns the five-resource lower bound for the program (§5).
+// Concurrent calls for the same program share a single computation.
 func (s *Suite) Ideal(p *workload.Program) ideal.Bound {
 	s.mu.Lock()
 	if b, ok := s.ideal[p.Name]; ok {
 		s.mu.Unlock()
 		return b
 	}
+	if f, ok := s.idealInF[p.Name]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.b
+	}
+	f := &flight{done: make(chan struct{})}
+	s.idealInF[p.Name] = f
 	s.mu.Unlock()
-	b := ideal.Compute(p.CachedTrace(s.Scale))
+
+	f.b = ideal.Compute(p.CachedTrace(s.Scale))
+
 	s.mu.Lock()
-	s.ideal[p.Name] = b
+	s.ideal[p.Name] = f.b
+	delete(s.idealInF, p.Name)
 	s.mu.Unlock()
-	return b
+	close(f.done)
+	return f.b
 }
 
 // Stats returns the trace statistics for the program at the suite scale.

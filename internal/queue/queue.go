@@ -16,6 +16,13 @@ type entry[T any] struct {
 	visible int64
 }
 
+// Observer receives a callback after every successful push or pop, with the
+// queue's new length. Observers must be strictly passive: they are invoked
+// on the simulation hot path and must not touch the queue.
+type Observer interface {
+	QueueEvent(now int64, name string, push bool, newLen int)
+}
+
 // Q is a bounded FIFO of T with cycle visibility, backed by a fixed ring
 // buffer (hardware queues do not reallocate). The zero value is not usable;
 // create queues with New.
@@ -29,6 +36,16 @@ type Q[T any] struct {
 	pops   int64
 	// peakLen is the maximum occupancy ever observed.
 	peakLen int
+
+	// Occupancy integral: lenCycles accumulates len*dt and fullCycles the
+	// cycles spent completely full, both up to lastT. Updated incrementally
+	// on every push/pop, so occupancy statistics cost O(1) per operation
+	// instead of a per-cycle sweep.
+	lenCycles  int64
+	fullCycles int64
+	lastT      int64
+
+	obs Observer
 }
 
 // New returns an empty queue with the given name (for diagnostics) and
@@ -42,6 +59,37 @@ func New[T any](name string, capacity int) *Q[T] {
 
 // Name returns the queue's diagnostic name.
 func (q *Q[T]) Name() string { return q.name }
+
+// SetObserver installs the push/pop observer (nil to disable).
+func (q *Q[T]) SetObserver(o Observer) { q.obs = o }
+
+// account brings the occupancy integral up to cycle now. Callers pass
+// monotonically non-decreasing cycles.
+func (q *Q[T]) account(now int64) {
+	if dt := now - q.lastT; dt > 0 {
+		q.lenCycles += int64(q.n) * dt
+		if q.n == len(q.ring) {
+			q.fullCycles += dt
+		}
+		q.lastT = now
+	}
+}
+
+// MeanLen returns the time-averaged occupancy over [0, now).
+func (q *Q[T]) MeanLen(now int64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	q.account(now)
+	return float64(q.lenCycles) / float64(now)
+}
+
+// FullCycles returns the number of cycles in [0, now) the queue spent
+// completely full.
+func (q *Q[T]) FullCycles(now int64) int64 {
+	q.account(now)
+	return q.fullCycles
+}
 
 // Cap returns the queue capacity in entries.
 func (q *Q[T]) Cap() int { return len(q.ring) }
@@ -67,11 +115,15 @@ func (q *Q[T]) Push(now int64, v T) bool {
 	if q.Full() {
 		return false
 	}
+	q.account(now)
 	*q.at(q.n) = entry[T]{val: v, visible: now + 1}
 	q.n++
 	q.pushes++
 	if q.n > q.peakLen {
 		q.peakLen = q.n
+	}
+	if q.obs != nil {
+		q.obs.QueueEvent(now, q.name, true, q.n)
 	}
 	return true
 }
@@ -119,6 +171,7 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 		var zero T
 		return zero, false
 	}
+	q.account(now)
 	e := q.at(0)
 	v = e.val
 	var zero T
@@ -126,6 +179,9 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 	q.head = (q.head + 1) % len(q.ring)
 	q.n--
 	q.pops++
+	if q.obs != nil {
+		q.obs.QueueEvent(now, q.name, false, q.n)
+	}
 	return v, true
 }
 
@@ -171,6 +227,7 @@ func (q *Q[T]) Reset() {
 	q.head, q.n = 0, 0
 	q.pushes, q.pops = 0, 0
 	q.peakLen = 0
+	q.lenCycles, q.fullCycles, q.lastT = 0, 0, 0
 }
 
 // String summarizes the queue state for diagnostics.

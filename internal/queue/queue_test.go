@@ -222,3 +222,98 @@ func TestFIFOProperty_Quick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMeanLenAndFullCycles(t *testing.T) {
+	q := New[int]("q", 2)
+	// Empty cycles 0..9, then one entry for 10 cycles, then full for 5.
+	q.Push(10, 1)
+	q.Push(20, 2)
+	q.Pop(25)
+	q.Pop(25)
+	// Occupancy integral: 0*10 + 1*10 + 2*5 = 20 over 25 cycles.
+	if got := q.MeanLen(25); got != 20.0/25.0 {
+		t.Errorf("MeanLen(25) = %v, want %v", got, 20.0/25.0)
+	}
+	if got := q.FullCycles(25); got != 5 {
+		t.Errorf("FullCycles(25) = %d, want 5", got)
+	}
+	// Asking at a later time extends the (now empty) integral.
+	if got := q.FullCycles(100); got != 5 {
+		t.Errorf("FullCycles(100) = %d, want 5", got)
+	}
+	if got := q.MeanLen(100); got != 20.0/100.0 {
+		t.Errorf("MeanLen(100) = %v, want %v", got, 20.0/100.0)
+	}
+}
+
+func TestMeanLenEmptyQueue(t *testing.T) {
+	q := New[int]("q", 2)
+	if got := q.MeanLen(0); got != 0 {
+		t.Errorf("MeanLen(0) = %v, want 0", got)
+	}
+	if got := q.FullCycles(50); got != 0 {
+		t.Errorf("FullCycles = %v, want 0", got)
+	}
+}
+
+type obsEvent struct {
+	now    int64
+	name   string
+	push   bool
+	newLen int
+}
+
+type captureObserver struct{ events []obsEvent }
+
+func (c *captureObserver) QueueEvent(now int64, name string, push bool, newLen int) {
+	c.events = append(c.events, obsEvent{now, name, push, newLen})
+}
+
+func TestObserverSeesPushesAndPops(t *testing.T) {
+	q := New[int]("OBS", 4)
+	var c captureObserver
+	q.SetObserver(&c)
+	q.Push(1, 10)
+	q.Push(2, 20)
+	q.Pop(5)
+	want := []obsEvent{
+		{1, "OBS", true, 1},
+		{2, "OBS", true, 2},
+		{5, "OBS", false, 1},
+	}
+	if len(c.events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(c.events), len(want), c.events)
+	}
+	for i, e := range c.events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// Failed pushes and pops emit nothing.
+	q2 := New[int]("OBS2", 2)
+	var c2 captureObserver
+	q2.SetObserver(&c2)
+	q2.Push(6, 1)
+	q2.Push(6, 2)
+	if q2.Push(6, 3) { // full: fails
+		t.Fatal("push into full queue succeeded")
+	}
+	if _, ok := q2.Pop(6); ok { // entries not yet visible
+		t.Fatal("pop of invisible entry succeeded")
+	}
+	if len(c2.events) != 2 {
+		t.Errorf("failed operations must not notify: %+v", c2.events)
+	}
+}
+
+func TestResetClearsOccupancyStats(t *testing.T) {
+	q := New[int]("q", 2)
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Pop(10)
+	q.Reset()
+	if q.MeanLen(100) != 0 || q.FullCycles(100) != 0 {
+		t.Errorf("Reset must clear occupancy stats: mean=%v full=%d",
+			q.MeanLen(100), q.FullCycles(100))
+	}
+}

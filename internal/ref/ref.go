@@ -47,6 +47,9 @@ type machine struct {
 	states  sim.StateStats
 	traffic sim.MemTraffic
 	counts  sim.Counts
+	stalls  sim.StallCounts
+	// rec is the optional event recorder; nil when disabled.
+	rec *sim.Recorder
 
 	// maxDone tracks the latest completion event of anything in flight; the
 	// run ends there.
@@ -56,13 +59,24 @@ type machine struct {
 // Run simulates the trace on the reference architecture under cfg and
 // returns the measured result.
 func Run(src trace.Source, cfg sim.Config) (*sim.Result, error) {
-	return RunWithHook(src, cfg, nil)
+	return simulate(src, cfg, nil, nil)
 }
 
 // RunWithHook is Run with an optional per-instruction callback invoked with
 // each instruction and its issue cycle — a debugging and testing aid for
 // inspecting the schedule the machine produced.
 func RunWithHook(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued int64)) (*sim.Result, error) {
+	return simulate(src, cfg, hook, nil)
+}
+
+// RunRecorded is Run with an optional event recorder. Recording is passive:
+// the returned result is bit-identical to a plain Run; the recorder
+// additionally collects issue, stall and bus-grant events.
+func RunRecorded(src trace.Source, cfg sim.Config, rec *sim.Recorder) (*sim.Result, error) {
+	return simulate(src, cfg, nil, rec)
+}
+
+func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued int64), rec *sim.Recorder) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -70,6 +84,7 @@ func RunWithHook(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issue
 		cfg:   cfg,
 		bus:   mem.NewBus(cfg.MemPorts),
 		cache: mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
+		rec:   rec,
 	}
 	st := src.Stream()
 	var now int64 // earliest cycle the next instruction may issue
@@ -79,10 +94,17 @@ func RunWithHook(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issue
 			break
 		}
 		m.count(in)
-		e := m.earliestIssue(in, now)
+		e, why := m.earliestIssue(in, now)
+		if wait := e - now; wait > 0 {
+			// The dispatch unit sat idle for wait cycles; attribute them to
+			// the binding hazard.
+			m.stalls.Add(why, wait)
+			m.rec.StallN(now, why, wait)
+		}
 		if hook != nil {
 			hook(in, e)
 		}
+		m.rec.Issue(e, sim.ProcREF, in.Seq, in.Class.String())
 		m.accountStates(now, e)
 		m.issue(in, e)
 		// In-order single issue: the next instruction cannot issue in the
@@ -102,6 +124,7 @@ func RunWithHook(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issue
 		States:  m.states,
 		Counts:  m.counts,
 		Traffic: m.traffic,
+		Stalls:  m.stalls,
 
 		ScalarCacheHits:   m.cache.Hits,
 		ScalarCacheMisses: m.cache.Misses,
@@ -186,16 +209,28 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// bump raises *e to cand when cand is later, recording the reason; ties
+// keep the earlier-diagnosed cause, exactly mirroring max64's "first
+// contributor wins" semantics so issue cycles are unchanged by attribution.
+func bump(e *int64, why *sim.StallReason, cand int64, r sim.StallReason) {
+	if cand > *e {
+		*e = cand
+		*why = r
+	}
+}
+
 // earliestIssue computes the first cycle >= lb at which the instruction can
-// issue, considering data, structural and register-file hazards.
-func (m *machine) earliestIssue(in *isa.Inst, lb int64) int64 {
+// issue, considering data, structural and register-file hazards. The second
+// result attributes the wait (e - lb, if any) to the binding hazard.
+func (m *machine) earliestIssue(in *isa.Inst, lb int64) (int64, sim.StallReason) {
 	e := lb
+	why := sim.StallRefData
 	// Source operands.
-	e = max64(e, m.srcReady(in.Src1))
-	e = max64(e, m.srcReady(in.Src2))
+	bump(&e, &why, m.srcReady(in.Src1), sim.StallRefData)
+	bump(&e, &why, m.srcReady(in.Src2), sim.StallRefData)
 	// Stores read their data through Dst.
 	if in.Class.IsStore() || in.Class == isa.ClassBranch {
-		e = max64(e, m.srcReady(in.Dst))
+		bump(&e, &why, m.srcReady(in.Dst), sim.StallRefData)
 	}
 	// Gathers/scatters read an index vector through Src1 (already covered)
 	// and their base from Src2 when present.
@@ -205,28 +240,28 @@ func (m *machine) earliestIssue(in *isa.Inst, lb int64) int64 {
 		v := &m.vRegs[in.Dst.Idx]
 		// WAW: the previous writer must have completed; WAR: in-flight
 		// readers must have drained the old value.
-		e = max64(e, v.writeReady)
-		e = max64(e, v.readBusyUntil)
+		bump(&e, &why, v.writeReady, sim.StallRefDst)
+		bump(&e, &why, v.readBusyUntil, sim.StallRefDst)
 	}
 	if !in.Class.IsStore() && (in.Dst.Kind == isa.RegA || in.Dst.Kind == isa.RegS) {
-		e = max64(e, m.scalarReady(in.Dst))
+		bump(&e, &why, m.scalarReady(in.Dst), sim.StallRefDst)
 	}
 
 	// Structural hazards.
 	switch in.Class {
 	case isa.ClassVectorALU, isa.ClassReduce:
-		e = max64(e, m.fuAvail(in.Op, e))
+		bump(&e, &why, m.fuAvail(in.Op, e), sim.StallRefFU)
 	case isa.ClassVectorLoad, isa.ClassVectorStore, isa.ClassGather, isa.ClassScatter:
-		e = max64(e, m.bus.FreeCycle())
+		bump(&e, &why, m.bus.FreeCycle(), sim.StallRefBus)
 	case isa.ClassScalarLoad, isa.ClassScalarStore:
 		// Cache hits need no bus; conservatively we cannot know hit/miss
 		// before probing at issue, but the probe result is deterministic,
 		// so peek: misses and stores need the bus.
 		if in.Class == isa.ClassScalarStore || !m.peekHit(in.Base) {
-			e = max64(e, m.bus.FreeCycle())
+			bump(&e, &why, m.bus.FreeCycle(), sim.StallRefBus)
 		}
 	}
-	return e
+	return e, why
 }
 
 // peekHit probes the cache without updating it.

@@ -1,0 +1,250 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decvec/internal/sim"
+)
+
+// This file renders the observability layer's data — stall attribution,
+// queue occupancy and the cycle-stamped event stream — as machine-readable
+// JSON and as a chrome://tracing (Trace Event Format) file.
+
+// Metrics is the machine-readable summary of one simulation run, the schema
+// behind `dvasim -metrics-json`.
+type Metrics struct {
+	Arch   string `json:"arch"`
+	Config string `json:"config"`
+	Cycles int64  `json:"cycles"`
+
+	IPC           float64 `json:"ipc"`
+	ScalarInsts   int64   `json:"scalarInsts"`
+	VectorInsts   int64   `json:"vectorInsts"`
+	VectorOps     int64   `json:"vectorOps"`
+	LoadElems     int64   `json:"loadElems"`
+	StoreElems    int64   `json:"storeElems"`
+	Bypasses      int64   `json:"bypasses"`
+	BypassedElems int64   `json:"bypassedElems"`
+	Flushes       int64   `json:"flushes"`
+
+	States []StateMetric `json:"states"`
+	// Stalls lists every stall reason with at least one cycle, most cycles
+	// first. ProcStalls aggregates them per unit.
+	Stalls     []StallMetric     `json:"stalls"`
+	ProcStalls []ProcStallMetric `json:"procStalls"`
+	// Queues summarizes every architectural queue (absent for REF).
+	Queues []QueueMetric `json:"queues,omitempty"`
+}
+
+// StateMetric is one (FU2,FU1,LD) state's share of the run.
+type StateMetric struct {
+	State    string  `json:"state"`
+	Cycles   int64   `json:"cycles"`
+	Fraction float64 `json:"fraction"`
+}
+
+// StallMetric is one stall reason's cycle count.
+type StallMetric struct {
+	Reason string `json:"reason"` // canonical "Proc.cause" name
+	Proc   string `json:"proc"`
+	Cycles int64  `json:"cycles"`
+}
+
+// ProcStallMetric is one unit's total stall cycles.
+type ProcStallMetric struct {
+	Proc   string `json:"proc"`
+	Cycles int64  `json:"cycles"`
+}
+
+// QueueMetric is one queue's occupancy summary.
+type QueueMetric struct {
+	Name       string  `json:"name"`
+	Cap        int     `json:"cap"`
+	Pushes     int64   `json:"pushes"`
+	Pops       int64   `json:"pops"`
+	Peak       int     `json:"peak"`
+	MeanLen    float64 `json:"meanLen"`
+	Pressure   float64 `json:"pressure"`
+	FullCycles int64   `json:"fullCycles"`
+}
+
+// CollectMetrics builds the Metrics view of a result.
+func CollectMetrics(res *sim.Result) *Metrics {
+	m := &Metrics{
+		Arch:          res.Arch,
+		Config:        res.Config.String(),
+		Cycles:        res.Cycles,
+		IPC:           res.IPC(),
+		ScalarInsts:   res.Counts.ScalarInsts,
+		VectorInsts:   res.Counts.VectorInsts,
+		VectorOps:     res.Counts.VectorOps,
+		LoadElems:     res.Traffic.LoadElems,
+		StoreElems:    res.Traffic.StoreElems,
+		Bypasses:      res.Bypasses,
+		BypassedElems: res.BypassedElems,
+		Flushes:       res.Flushes,
+	}
+	for s := sim.State(0); s < sim.NumStates; s++ {
+		m.States = append(m.States, StateMetric{
+			State:    s.String(),
+			Cycles:   res.States.Cycles[s],
+			Fraction: res.States.Fraction(s),
+		})
+	}
+	for _, sc := range res.Stalls.Nonzero() {
+		m.Stalls = append(m.Stalls, StallMetric{
+			Reason: sc.Reason.String(),
+			Proc:   sc.Reason.Proc().String(),
+			Cycles: sc.Cycles,
+		})
+	}
+	for p := sim.Proc(0); p < sim.NumProcs; p++ {
+		if t := res.Stalls.ProcTotal(p); t > 0 {
+			m.ProcStalls = append(m.ProcStalls, ProcStallMetric{Proc: p.String(), Cycles: t})
+		}
+	}
+	for _, q := range res.Queues {
+		m.Queues = append(m.Queues, QueueMetric{
+			Name:       q.Name,
+			Cap:        q.Cap,
+			Pushes:     q.Pushes,
+			Pops:       q.Pops,
+			Peak:       q.Peak,
+			MeanLen:    q.MeanLen,
+			Pressure:   q.Pressure(),
+			FullCycles: q.FullCycles,
+		})
+	}
+	return m
+}
+
+// MetricsJSON renders the result as indented JSON.
+func MetricsJSON(res *sim.Result) ([]byte, error) {
+	return json.MarshalIndent(CollectMetrics(res), "", "  ")
+}
+
+// StallTable renders the nonzero stall reasons of a run as a table, with
+// each reason's share of total execution cycles.
+func StallTable(res *sim.Result) string {
+	t := NewTable("Stall cycles by cause",
+		"cause", "unit", "cycles", "% of run")
+	for _, sc := range res.Stalls.Nonzero() {
+		pct := 0.0
+		if res.Cycles > 0 {
+			pct = 100 * float64(sc.Cycles) / float64(res.Cycles)
+		}
+		t.AddRowf(sc.Reason.String(), sc.Reason.Proc().String(), sc.Cycles, fmt.Sprintf("%5.1f", pct))
+	}
+	return t.String()
+}
+
+// QueueTable renders the per-queue occupancy stats of a run as a table.
+func QueueTable(res *sim.Result) string {
+	t := NewTable("Queue occupancy",
+		"queue", "cap", "pushes", "peak", "mean", "pressure", "full cycles")
+	for _, q := range res.Queues {
+		t.AddRowf(q.Name, q.Cap, q.Pushes, q.Peak,
+			fmt.Sprintf("%.2f", q.MeanLen), fmt.Sprintf("%.3f", q.Pressure()), q.FullCycles)
+	}
+	return t.String()
+}
+
+// tefEvent is one entry of the Trace Event Format's traceEvents array
+// (the JSON schema understood by chrome://tracing and Perfetto).
+type tefEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// The bus gets its own timeline row below the per-processor ones.
+const busTid = int(sim.NumProcs)
+
+// WriteTraceEvents writes the recorded event stream of a run as a Trace
+// Event Format JSON file loadable in chrome://tracing or Perfetto. One
+// timeline thread per unit plus one for the address bus; queue occupancies
+// become counter tracks; bypasses and flushes become instant events.
+// Timestamps are simulated cycles (rendered as microseconds by the viewer).
+func WriteTraceEvents(w io.Writer, res *sim.Result, rec *sim.Recorder) error {
+	bw := &errWriter{w: w}
+	bw.writeString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func(e tefEvent) {
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		bw.write(b)
+	}
+
+	// Metadata: name the process after the run and each thread after its unit.
+	name := fmt.Sprintf("%s (%s)", res.Arch, res.Config.String())
+	emit(tefEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": name}})
+	for p := sim.Proc(0); p < sim.NumProcs; p++ {
+		emit(tefEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: int(p),
+			Args: map[string]any{"name": p.String()}})
+		emit(tefEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: int(p),
+			Args: map[string]any{"sort_index": int(p)}})
+	}
+	emit(tefEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: busTid,
+		Args: map[string]any{"name": "BUS"}})
+	emit(tefEvent{Name: "thread_sort_index", Ph: "M", Pid: 1, Tid: busTid,
+		Args: map[string]any{"sort_index": busTid}})
+
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case sim.EvIssue:
+			emit(tefEvent{Name: e.Label, Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: 1, Tid: int(e.Proc), Args: map[string]any{"seq": e.Seq}})
+		case sim.EvStall:
+			emit(tefEvent{Name: "stall " + e.Reason.String(), Ph: "X",
+				Ts: e.Cycle, Dur: e.N, Pid: 1, Tid: int(e.Proc)})
+		case sim.EvQueuePush, sim.EvQueuePop:
+			emit(tefEvent{Name: e.Queue, Ph: "C", Ts: e.Cycle, Pid: 1,
+				Args: map[string]any{"len": e.N}})
+		case sim.EvBusGrant:
+			emit(tefEvent{Name: "bus " + e.Proc.String(), Ph: "X",
+				Ts: e.Cycle, Dur: e.N, Pid: 1, Tid: busTid,
+				Args: map[string]any{"seq": e.Seq}})
+		case sim.EvBypass:
+			emit(tefEvent{Name: "bypass", Ph: "i", Ts: e.Cycle, Pid: 1,
+				Tid: int(e.Proc), S: "t",
+				Args: map[string]any{"seq": e.Seq, "elems": e.N}})
+		case sim.EvFlush:
+			emit(tefEvent{Name: "flush", Ph: "i", Ts: e.Cycle, Pid: 1,
+				Tid: int(e.Proc), S: "t", Args: map[string]any{"seq": e.Seq}})
+		}
+		if bw.err != nil {
+			return bw.err
+		}
+	}
+	bw.writeString("]}\n")
+	return bw.err
+}
+
+// errWriter is the usual sticky-error writer wrapper.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) write(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *errWriter) writeString(s string) { e.write([]byte(s)) }

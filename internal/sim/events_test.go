@@ -1,0 +1,156 @@
+package sim
+
+import "testing"
+
+func TestStallReasonTablesComplete(t *testing.T) {
+	for r := StallReason(0); r < NumStallReasons; r++ {
+		if r.String() == "" || r.String() == "stall?" {
+			t.Errorf("reason %d has no name", r)
+		}
+		if r.Proc() >= NumProcs {
+			t.Errorf("reason %s has no processor", r)
+		}
+	}
+	for p := Proc(0); p < NumProcs; p++ {
+		if p.String() == "?" {
+			t.Errorf("proc %d has no name", p)
+		}
+	}
+	// Out-of-range values degrade gracefully.
+	if StallReason(200).String() != "stall?" || Proc(200).String() != "?" {
+		t.Error("out-of-range values must not panic")
+	}
+}
+
+func TestStallCountsTotals(t *testing.T) {
+	var s StallCounts
+	s.Add(StallAPBus, 10)
+	s.Add(StallAPData, 5)
+	s.Add(StallVPFU, 3)
+	if s.Total() != 18 {
+		t.Errorf("Total = %d, want 18", s.Total())
+	}
+	if s.ProcTotal(ProcAP) != 15 {
+		t.Errorf("ProcTotal(AP) = %d, want 15", s.ProcTotal(ProcAP))
+	}
+	if s.ProcTotal(ProcSP) != 0 {
+		t.Errorf("ProcTotal(SP) = %d, want 0", s.ProcTotal(ProcSP))
+	}
+	nz := s.Nonzero()
+	if len(nz) != 3 {
+		t.Fatalf("Nonzero len = %d, want 3", len(nz))
+	}
+	for i := 1; i < len(nz); i++ {
+		if nz[i].Cycles > nz[i-1].Cycles {
+			t.Errorf("Nonzero not sorted: %+v", nz)
+		}
+	}
+	if nz[0].Reason != StallAPBus || nz[0].Cycles != 10 {
+		t.Errorf("top reason = %+v, want AP.bus x10", nz[0])
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	// Every method must be a no-op, not a panic.
+	r.Issue(1, ProcAP, 0, "x")
+	r.Stall(1, StallAPBus)
+	r.StallN(1, StallAPBus, 5)
+	r.BusGrant(1, ProcAP, 0, 8)
+	r.Bypass(1, 0, 8)
+	r.Flush(1, 0)
+	r.QueueEvent(1, "q", true, 1)
+	if r.Len() != 0 || r.Events() != nil || r.Count(EvIssue) != 0 {
+		t.Error("nil recorder must be empty")
+	}
+}
+
+func TestStallCoalescing(t *testing.T) {
+	r := NewRecorder()
+	// Three consecutive cycles of the same reason coalesce into one event.
+	r.Stall(10, StallAPBus)
+	r.Stall(11, StallAPBus)
+	r.Stall(12, StallAPBus)
+	// A gap starts a new event.
+	r.Stall(20, StallAPBus)
+	// A different reason interleaved keeps its own run.
+	r.Stall(21, StallVPData)
+	r.Stall(21, StallAPBus)
+	r.Stall(22, StallVPData)
+
+	var stalls []Event
+	for _, e := range r.Events() {
+		if e.Kind == EvStall {
+			stalls = append(stalls, e)
+		}
+	}
+	want := []struct {
+		cycle, n int64
+		reason   StallReason
+	}{
+		{10, 3, StallAPBus},
+		{20, 2, StallAPBus}, // 20 and 21 coalesce despite the VP event between
+		{21, 2, StallVPData},
+	}
+	if len(stalls) != len(want) {
+		t.Fatalf("got %d stall events, want %d: %+v", len(stalls), len(want), stalls)
+	}
+	for i, w := range want {
+		e := stalls[i]
+		if e.Cycle != w.cycle || e.N != w.n || e.Reason != w.reason {
+			t.Errorf("stall %d = {cycle %d, n %d, %s}, want {%d, %d, %s}",
+				i, e.Cycle, e.N, e.Reason, w.cycle, w.n, w.reason)
+		}
+	}
+}
+
+func TestMaxEventsDrops(t *testing.T) {
+	r := NewRecorder()
+	r.MaxEvents = 3
+	for i := int64(0); i < 10; i++ {
+		r.Issue(i, ProcFP, i, "x")
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped)
+	}
+	// Coalescing into an already-stored stall still works at the bound.
+	r2 := NewRecorder()
+	r2.MaxEvents = 1
+	r2.Stall(5, StallAPBus)
+	r2.Stall(6, StallAPBus)
+	if r2.Len() != 1 || r2.Events()[0].N != 2 {
+		t.Errorf("coalescing at the bound broken: %+v", r2.Events())
+	}
+	if r2.Dropped != 0 {
+		t.Errorf("coalesced cycles must not count as dropped: %d", r2.Dropped)
+	}
+}
+
+func TestRecorderCountsAndKinds(t *testing.T) {
+	r := NewRecorder()
+	r.Issue(1, ProcAP, 7, "VLoad")
+	r.BusGrant(1, ProcAP, 7, 8)
+	r.Bypass(2, 9, 16)
+	r.Flush(3, 4)
+	r.QueueEvent(4, "AVDQ", true, 1)
+	r.QueueEvent(5, "AVDQ", false, 0)
+	if r.Count(EvIssue) != 1 || r.Count(EvBusGrant) != 1 || r.Count(EvBypass) != 1 ||
+		r.Count(EvFlush) != 1 || r.Count(EvQueuePush) != 1 || r.Count(EvQueuePop) != 1 {
+		t.Errorf("kind counts wrong: %+v", r.Events())
+	}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		if k.String() == "event?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	ev := r.Events()[0]
+	if ev.Proc != ProcAP || ev.Seq != 7 || ev.Label != "VLoad" {
+		t.Errorf("issue event fields wrong: %+v", ev)
+	}
+}

@@ -240,9 +240,25 @@ type Result struct {
 	ScalarCacheHits   int64
 	ScalarCacheMisses int64
 
-	// Stall diagnostics (DVA): cycles each processor spent unable to make
-	// progress, keyed by processor name.
-	Stalls map[string]int64
+	// Stalls attributes stall cycles to their enumerated causes. For the
+	// DVA each entry is a cycle in which that unit could not make progress;
+	// for REF it is the cycles the dispatch unit waited before an issue,
+	// attributed to the binding hazard.
+	Stalls StallCounts
+
+	// Queues summarizes the occupancy of every architectural queue (DVA
+	// only; nil for REF, which has no queues).
+	Queues []QueueStat
+}
+
+// QueueStatNamed returns the stats of the named queue, if present.
+func (r *Result) QueueStatNamed(name string) (QueueStat, bool) {
+	for _, q := range r.Queues {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return QueueStat{}, false
 }
 
 // IPC returns executed instructions (scalar + vector) per cycle.
