@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet lint race bench verify
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs declint, the custom static-analysis suite that enforces the
+# simulator invariants (enum exhaustiveness, determinism, queue discipline,
+# recorder hot-path hygiene). See DESIGN.md "Checked invariants".
+lint:
+	$(GO) run ./cmd/declint ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -23,4 +29,5 @@ bench:
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/declint ./...
 	$(GO) test -race ./...

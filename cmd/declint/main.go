@@ -1,0 +1,87 @@
+// Command declint runs the repository's custom static-analysis suite over
+// the given package patterns and reports every violated simulator invariant.
+//
+// Usage:
+//
+//	go run ./cmd/declint ./...
+//	go run ./cmd/declint -list
+//	go run ./cmd/declint internal/dva internal/ref
+//
+// It exits 0 when the tree is clean, 1 when diagnostics were reported and 2
+// on load errors. See DESIGN.md ("Checked invariants") for the analyzers and
+// the // declint: escape-hatch syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/determinism"
+	"decvec/internal/analysis/exhaustive"
+	"decvec/internal/analysis/queuediscipline"
+	"decvec/internal/analysis/recorderhygiene"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		exhaustive.Analyzer,
+		determinism.Analyzer,
+		queuediscipline.Analyzer,
+		recorderhygiene.Analyzer,
+	}
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: declint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the simulator-invariant analyzers over the module.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, an := range analyzers() {
+			fmt.Printf("%-16s %s\n", an.Name, an.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := run(patterns); err != nil {
+		fmt.Fprintln(os.Stderr, "declint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string) error {
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modPath, modDir, err := analysis.ModuleInfo(wd)
+	if err != nil {
+		return err
+	}
+	loader := analysis.NewLoader(modPath, modDir)
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		return err
+	}
+	diags, err := analysis.Run(analyzers(), pkgs)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("declint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+	return nil
+}

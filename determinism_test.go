@@ -1,0 +1,83 @@
+package decvec_test
+
+import (
+	"testing"
+
+	decvec "decvec"
+)
+
+// TestRunDeterminism is the regression gate behind the determinism analyzer:
+// two runs of the same trace on the same architecture must agree on every
+// observable — cycle count, stall attribution, queue statistics and the full
+// recorded event stream. FreshTrace regenerates the trace each time, so trace
+// synthesis is covered too, not just the simulators.
+func TestRunDeterminism(t *testing.T) {
+	w, err := decvec.LoadWorkload("TRFD")
+	if err != nil {
+		t.Fatalf("LoadWorkload: %v", err)
+	}
+	for _, arch := range []string{"REF", "DVA", "BYP"} {
+		t.Run(arch, func(t *testing.T) {
+			cfg := decvec.DefaultConfig(50)
+			if arch == "BYP" {
+				cfg = decvec.BypassConfig(50, 8, 8)
+			}
+			run := func() (*decvec.Result, []decvec.Event) {
+				rec := decvec.NewRecorder()
+				res, err := decvec.RunSourceRecorded(w.FreshTrace(0.5), arch, cfg, rec)
+				if err != nil {
+					t.Fatalf("run %s: %v", arch, err)
+				}
+				return res, rec.Events()
+			}
+			res1, ev1 := run()
+			res2, ev2 := run()
+
+			if res1.Cycles != res2.Cycles {
+				t.Errorf("cycle count differs between runs: %d vs %d", res1.Cycles, res2.Cycles)
+			}
+			if res1.Stalls != res2.Stalls {
+				t.Errorf("stall tallies differ between runs:\n%v\n%v", res1.Stalls, res2.Stalls)
+			}
+			if len(res1.Queues) != len(res2.Queues) {
+				t.Fatalf("queue stat count differs: %d vs %d", len(res1.Queues), len(res2.Queues))
+			}
+			for i := range res1.Queues {
+				if res1.Queues[i] != res2.Queues[i] {
+					t.Errorf("queue %s stats differ:\n%+v\n%+v", res1.Queues[i].Name, res1.Queues[i], res2.Queues[i])
+				}
+			}
+			if len(ev1) != len(ev2) {
+				t.Fatalf("event stream length differs: %d vs %d", len(ev1), len(ev2))
+			}
+			for i := range ev1 {
+				if ev1[i] != ev2[i] {
+					t.Fatalf("event %d differs:\n%+v\n%+v", i, ev1[i], ev2[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRecordingInvariance checks the other half of the recorder contract: an
+// attached recorder must never perturb the simulation itself.
+func TestRecordingInvariance(t *testing.T) {
+	w, err := decvec.LoadWorkload("TRFD")
+	if err != nil {
+		t.Fatalf("LoadWorkload: %v", err)
+	}
+	for _, arch := range []string{"REF", "DVA"} {
+		cfg := decvec.DefaultConfig(50)
+		plain, err := decvec.RunSource(w.FreshTrace(0.5), arch, cfg)
+		if err != nil {
+			t.Fatalf("run %s: %v", arch, err)
+		}
+		recorded, err := decvec.RunSourceRecorded(w.FreshTrace(0.5), arch, cfg, decvec.NewRecorder())
+		if err != nil {
+			t.Fatalf("recorded run %s: %v", arch, err)
+		}
+		if plain.Cycles != recorded.Cycles || plain.Stalls != recorded.Stalls {
+			t.Errorf("%s: attaching a recorder changed the result: %d/%d cycles", arch, plain.Cycles, recorded.Cycles)
+		}
+	}
+}

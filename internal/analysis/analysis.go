@@ -1,0 +1,116 @@
+// Package analysis is the declint static-analysis framework: a small,
+// dependency-free equivalent of golang.org/x/tools/go/analysis (which this
+// repository deliberately does not vendor) built on go/ast and go/types.
+//
+// An Analyzer inspects one type-checked package and reports Diagnostics.
+// The cmd/declint driver loads every package of the module and runs the
+// registered analyzers over it; the analysistest-style harness in this
+// package (RunTest) checks analyzers against golden packages under
+// testdata/src using `// want "regexp"` comments, mirroring the upstream
+// analysistest contract.
+//
+// Suppression directives:
+//
+//   - `// declint:allow <analyzer> — reason` on the diagnostic's line or the
+//     line directly above suppresses one finding of that analyzer.
+//   - `// declint:nonexhaustive — reason` inside the default clause of an
+//     enum switch marks the default as a deliberate catch-all (understood by
+//     the exhaustive analyzer only).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one declint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow-directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces.
+	Doc string
+	// Applies reports whether the analyzer polices the package with the
+	// given import path. A nil Applies polices every package.
+	Applies func(importPath string) bool
+	// Run inspects the package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed non-test files of the package, with comments.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for the package.
+	Pkg  *types.Package
+	Info *types.Info
+	// Report records one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// TypeOf is a nil-tolerant shorthand for Pass.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies every analyzer (subject to its Applies filter) to every
+// package and returns the surviving diagnostics ordered by position.
+// Diagnostics suppressed by `// declint:allow` directives are dropped.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.Errs) > 0 {
+			return nil, fmt.Errorf("%s: %w", pkg.Path, pkg.Errs[0])
+		}
+		allowed := allowDirectives(pkg)
+		for _, an := range analyzers {
+			if an.Applies != nil && !an.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: an,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = an.Name
+				if allowed.suppresses(pkg.Fset, d) {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", an.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest loads golden packages from testdataDir/src, runs one analyzer over
+// them and checks its diagnostics against `// want "regexp"` comments, the
+// analysistest convention: each want comment names, by line, the diagnostics
+// the analyzer must report there. Several expectations may share a comment
+// (`// want "a" "b"`), every reported diagnostic must be wanted, and every
+// want must be matched.
+func RunTest(t *testing.T, testdataDir string, an *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdataDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	modPath, modDir, err := ModuleInfo(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := NewLoader(modPath, modDir, filepath.Join(abs, "src"))
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("analysistest: load %s: %v", path, err)
+		}
+		for _, e := range pkg.Errs {
+			t.Errorf("analysistest: %s: %v", path, e)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if t.Failed() {
+		t.Fatalf("analysistest: golden packages must type-check")
+	}
+	diags, err := Run([]*Analyzer{an}, pkgs)
+	if err != nil {
+		t.Fatalf("analysistest: run %s: %v", an.Name, err)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		raw string
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := make(map[lineKey][]*want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, err := parseWants(c.Text)
+					if err != nil {
+						pos := loader.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					if len(patterns) == 0 {
+						continue
+					}
+					pos := loader.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+						}
+						wants[k] = append(wants[k], &want{raw: p, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := loader.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: want diagnostic matching %q, got none", k.file, k.line, w.raw)
+			}
+		}
+	}
+}
+
+// parseWants extracts the expectation patterns from a `// want "..." "..."`
+// comment. Comments not starting with the want keyword yield nothing.
+func parseWants(text string) ([]string, error) {
+	body := strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t")
+	if !strings.HasPrefix(body, "want ") && body != "want" {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, "want"))
+	var out []string
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want expectation must be a double-quoted Go string, have %q", rest)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want expectation in %q", rest)
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want expectation %q: %v", rest[:end+1], err)
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return out, nil
+}

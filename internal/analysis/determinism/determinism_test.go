@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysis.RunTest(t, "../testdata", determinism.Analyzer, "dva", "tracegen")
+}

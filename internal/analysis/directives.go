@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective records one `// declint:allow <analyzer>` comment.
+type allowDirective struct {
+	file     string // file name (full path as seen by the fset)
+	line     int    // line the directive appears on
+	analyzer string // analyzer it silences, or "*" for all
+}
+
+type allowSet []allowDirective
+
+// AllowPrefix introduces a suppression comment. The analyzer name follows,
+// then an optional free-form justification:
+//
+//	m.x = f() // declint:allow determinism — reviewed: order-insensitive
+const AllowPrefix = "declint:allow"
+
+// allowDirectives collects the allow-directives of every file in the
+// package.
+func allowDirectives(pkg *Package) allowSet {
+	var out allowSet
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimLeft(strings.TrimPrefix(c.Text, "//"), " \t")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				name := rest
+				if i := strings.IndexAny(rest, " \t—-"); i >= 0 {
+					name = rest[:i]
+				}
+				if name == "" {
+					name = "*"
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, allowDirective{file: pos.Filename, line: pos.Line, analyzer: name})
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether the set contains a directive for the
+// diagnostic's analyzer on the diagnostic's line or the line directly above.
+func (s allowSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	for _, a := range s {
+		if a.file != pos.Filename {
+			continue
+		}
+		if a.line != pos.Line && a.line != pos.Line-1 {
+			continue
+		}
+		if a.analyzer == "*" || a.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// PathBase returns the last element of an import path, the package-family
+// key the analyzers' Applies filters match on ("decvec/internal/dva" and a
+// golden testdata package "dva" both map to "dva").
+func PathBase(importPath string) string {
+	if i := strings.LastIndexByte(importPath, '/'); i >= 0 {
+		return importPath[i+1:]
+	}
+	return importPath
+}

@@ -1,0 +1,167 @@
+// Package exhaustive implements the declint analyzer that keeps switches
+// over the simulator enum families (isa.Class, isa.Opcode, isa.RegKind,
+// sim.StallReason, sim.EventKind, sim.Proc, dva.uopKind, ...) from silently
+// rotting when a constant is added.
+//
+// A switch whose tag is an enum type — a defined integer type with at least
+// two package-level constants, sentinel counters like numClasses or NumProcs
+// excluded — must either cover every declared constant or carry an explicit
+// default clause annotated with a `// declint:nonexhaustive` justification
+// comment. A bare default is not enough: the annotation records that the
+// fall-through is a reviewed decision, not an accident.
+package exhaustive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"decvec/internal/analysis"
+)
+
+// Directive is the annotation that marks a reviewed non-exhaustive default.
+const Directive = "declint:nonexhaustive"
+
+// Analyzer is the exhaustive-switch check. It applies to every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over simulator enums must cover every constant or carry a `// declint:nonexhaustive` default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, file, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumInfo describes one enum family: the defined type and its declared
+// constants by value.
+type enumInfo struct {
+	named *types.Named
+	// byValue maps the exact constant value to the declared names carrying
+	// it (aliases share a value).
+	byValue map[string][]string
+}
+
+// enumOf reports whether t is an enum type: a defined (named) type whose
+// underlying type is an integer and whose declaring package declares at
+// least two non-sentinel constants of exactly that type.
+func enumOf(t types.Type) (*enumInfo, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	scope := named.Obj().Pkg().Scope()
+	info := &enumInfo{named: named, byValue: make(map[string][]string)}
+	n := 0
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) || sentinel(name) {
+			continue
+		}
+		key := c.Val().ExactString()
+		info.byValue[key] = append(info.byValue[key], name)
+		n++
+	}
+	if n < 2 {
+		return nil, false
+	}
+	return info, true
+}
+
+// sentinel reports whether a constant name is a count sentinel (NumProcs,
+// numClasses, ...) that closes an iota family rather than naming a value.
+func sentinel(name string) bool {
+	return strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num")
+}
+
+func checkSwitch(pass *analysis.Pass, file *ast.File, sw *ast.SwitchStmt) {
+	tagType := pass.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	enum, ok := enumOf(tagType)
+	if !ok {
+		return
+	}
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case expression makes coverage undecidable;
+				// leave the switch to reviewer judgement.
+				return
+			}
+			if tv.Value.Kind() != constant.Int {
+				return
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, names := range enum.byValue {
+		if !covered[val] {
+			missing = append(missing, names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	typeName := fmt.Sprintf("%s.%s", enum.named.Obj().Pkg().Name(), enum.named.Obj().Name())
+	if defaultClause == nil {
+		pass.Reportf(sw.Pos(),
+			"non-exhaustive switch over %s: missing %s and no default; add the missing cases or a default annotated // %s",
+			typeName, strings.Join(missing, ", "), Directive)
+		return
+	}
+	if !annotated(pass, file, defaultClause) {
+		pass.Reportf(defaultClause.Pos(),
+			"default of a non-exhaustive switch over %s (missing %s) must be annotated // %s with a justification",
+			typeName, strings.Join(missing, ", "), Directive)
+	}
+}
+
+// annotated reports whether the default clause carries the nonexhaustive
+// directive: a comment inside the clause's source range or on the line of
+// the `default:` keyword.
+func annotated(pass *analysis.Pass, file *ast.File, dc *ast.CaseClause) bool {
+	defLine := pass.Fset.Position(dc.Pos()).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, Directive) {
+				continue
+			}
+			if c.Pos() >= dc.Pos() && c.Pos() <= dc.End() {
+				return true
+			}
+			if pass.Fset.Position(c.Pos()).Line == defLine {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysis.RunTest(t, "../testdata", exhaustive.Analyzer, "isaenum", "swconsumer")
+}

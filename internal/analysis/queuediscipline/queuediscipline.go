@@ -1,0 +1,193 @@
+// Package queuediscipline implements the declint analyzer that protects the
+// architectural-queue invariants behind internal/queue.
+//
+// The queue's occupancy statistics (the O(1) length/fullness integrals that
+// feed the per-queue report tables) are only correct when every state
+// change flows through the exported Push/Pop API and brings the integral up
+// to date first. The analyzer enforces, inside the queue package:
+//
+//   - queue struct fields may only be assigned by the approved mutators
+//     (New, Push, Pop, Reset, SetObserver and the account helper);
+//   - Push and Pop must call account() before the first state mutation, so
+//     the occupancy integral can never be bypassed.
+//
+// And at every call site in the rest of the tree:
+//
+//   - the boolean result of Push must not be discarded: a Push that fails
+//     on a full queue silently drops an entry, which desynchronizes the
+//     machine and corrupts cycle counts. Check the result (panic on the
+//     "cannot happen" paths, as the dispatcher does).
+package queuediscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"decvec/internal/analysis"
+)
+
+// Analyzer is the queue-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "queuediscipline",
+	Doc:  "queue state changes only through Push/Pop with the occupancy integral updated; Push results must be checked",
+	Run:  run,
+}
+
+// approvedMutators are the queue-package functions allowed to touch queue
+// fields directly.
+var approvedMutators = map[string]bool{
+	"New": true, "Push": true, "Pop": true, "Reset": true,
+	"SetObserver": true, "account": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathBase(pass.Pkg.Path()) == "queue" {
+		checkQueuePackage(pass)
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// queueNamed reports whether t (possibly a pointer) is — or instantiates —
+// a defined struct type of a package named "queue" that has both Push and
+// Pop methods, and returns its origin.
+func queueNamed(t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	if analysis.PathBase(named.Obj().Pkg().Path()) != "queue" {
+		return nil, false
+	}
+	origin := named.Origin()
+	if _, ok := origin.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	var hasPush, hasPop bool
+	for i := 0; i < origin.NumMethods(); i++ {
+		switch origin.Method(i).Name() {
+		case "Push":
+			hasPush = true
+		case "Pop":
+			hasPop = true
+		}
+	}
+	return origin, hasPush && hasPop
+}
+
+// checkQueuePackage enforces the in-package mutation rules.
+func checkQueuePackage(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMutations(pass, fd)
+		}
+	}
+}
+
+// fieldMutation reports whether expr is a selector on a value of the queue
+// type (a queue field access used as an assignment target).
+func fieldMutation(pass *analysis.Pass, expr ast.Expr) (token.Pos, bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel {
+		return expr.Pos(), false
+	}
+	if _, isField := pass.Info.Selections[sel]; !isField {
+		return expr.Pos(), false
+	}
+	if _, isQueue := queueNamed(pass.TypeOf(sel.X)); !isQueue {
+		return expr.Pos(), false
+	}
+	return expr.Pos(), true
+}
+
+func checkFuncMutations(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	approved := approvedMutators[name]
+	var firstMutation ast.Node
+	var accountCall ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if pos, ok := fieldMutation(pass, lhs); ok {
+					if !approved {
+						pass.Reportf(pos, "queue state mutated outside the approved mutators (in %s): route changes through Push/Pop/Reset", name)
+					} else if firstMutation == nil {
+						firstMutation = n
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if pos, ok := fieldMutation(pass, n.X); ok {
+				if !approved {
+					pass.Reportf(pos, "queue state mutated outside the approved mutators (in %s): route changes through Push/Pop/Reset", name)
+				} else if firstMutation == nil {
+					firstMutation = n
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "account" {
+				if _, isQueue := queueNamed(pass.TypeOf(sel.X)); isQueue && accountCall == nil {
+					accountCall = n
+				}
+			}
+		}
+		return true
+	})
+	if (name == "Push" || name == "Pop") && fd.Recv != nil && firstMutation != nil {
+		if accountCall == nil || accountCall.Pos() > firstMutation.Pos() {
+			pass.Reportf(fd.Pos(), "%s mutates queue state without first updating the occupancy integral: call account() before the mutation", name)
+		}
+	}
+}
+
+// checkCallSites flags discarded Push results anywhere in the tree. Both
+// direct calls on a queue type and calls through an interface are covered:
+// any method named Push returning a single bool whose result is dropped.
+func checkCallSites(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && isBoolPush(pass, call) {
+					pass.Reportf(call.Pos(), "result of Push discarded: a full queue silently drops the entry; check the result (e.g. panic after a capacity check)")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBoolPush(pass, call) {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(call.Pos(), "result of Push discarded with _: a full queue silently drops the entry; check the result")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBoolPush(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Push" {
+		return false
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	sig, ok := selection.Obj().Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}

@@ -1,0 +1,12 @@
+package queuediscipline_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/queuediscipline"
+)
+
+func TestQueueDiscipline(t *testing.T) {
+	analysis.RunTest(t, "../testdata", queuediscipline.Analyzer, "queue", "qconsumer")
+}

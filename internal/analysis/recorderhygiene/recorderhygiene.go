@@ -1,0 +1,350 @@
+// Package recorderhygiene implements the declint analyzer that preserves
+// the observability layer's zero-cost-when-off guarantee: a machine driven
+// with a nil *sim.Recorder must take the same decisions, produce identical
+// results and allocate nothing on the hot path.
+//
+// In the package that defines the Recorder, every exported pointer-receiver
+// method that touches receiver state must open with a nil-receiver guard
+// (`if r == nil { return ... }`) so call sites stay unconditionally safe.
+//
+// At emission sites anywhere in the tree:
+//
+//   - a `defer` whose closure emits to a Recorder must itself sit behind a
+//     nil (or Enabled) check — otherwise the closure and defer frame are
+//     paid on every call even with recording off;
+//   - event payloads must not be built before the nil/enabled check:
+//     allocating argument expressions (fmt.Sprintf and friends, string
+//     concatenation, composite literals) are only allowed inside a guard.
+package recorderhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"decvec/internal/analysis"
+)
+
+// Analyzer is the recorder-hygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "recorderhygiene",
+	Doc:  "Recorder methods must be nil-safe; emission sites must not allocate (defers, payloads) outside a nil/Enabled guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkRecorderMethods(pass)
+	checkEmissionSites(pass)
+	return nil
+}
+
+// isRecorder reports whether t is (a pointer to) a defined type named
+// Recorder.
+func isRecorder(t types.Type) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Recorder"
+}
+
+// checkRecorderMethods enforces the nil-receiver guard on the defining
+// package's exported Recorder methods.
+func checkRecorderMethods(pass *analysis.Pass) {
+	if pass.Pkg.Scope().Lookup("Recorder") == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if len(fd.Recv.List) != 1 || !isRecorder(pass.TypeOf(fd.Recv.List[0].Type)) {
+				continue
+			}
+			recv := receiverName(fd)
+			if recv == "" || !usesReceiverState(fd, recv) {
+				continue
+			}
+			if !startsWithNilGuard(fd, recv) {
+				pass.Reportf(fd.Pos(), "exported Recorder method %s touches receiver state without an `if %s == nil` guard as its first statement; nil-recorder calls must be no-ops", fd.Name.Name, recv)
+			}
+		}
+	}
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// usesReceiverState reports whether the body selects a field or method on
+// the receiver (a pure `return r != nil` does not).
+func usesReceiverState(fd *ast.FuncDecl, recv string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// startsWithNilGuard reports whether the first statement is
+// `if recv == nil { ... }` (possibly `recv == nil || other`: a disjunction
+// still returns whenever the receiver is nil).
+func startsWithNilGuard(fd *ast.FuncDecl, recv string) bool {
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return nilGuardCond(ifs.Cond, recv)
+}
+
+// nilGuardCond matches `recv == nil` and any `||` disjunction containing it.
+func nilGuardCond(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op.String() == "||" {
+			return nilGuardCond(c.X, recv) || nilGuardCond(c.Y, recv)
+		}
+		return isNilComparison(cond, recv, true)
+	case *ast.ParenExpr:
+		return nilGuardCond(c.X, recv)
+	}
+	return false
+}
+
+// isNilComparison matches `expr == nil` (eq=true) or `expr != nil`
+// (eq=false) where expr prints as target.
+func isNilComparison(cond ast.Expr, target string, eq bool) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	op := "!="
+	if eq {
+		op = "=="
+	}
+	if be.Op.String() != op {
+		return false
+	}
+	return (types.ExprString(be.X) == target && isNil(be.Y)) ||
+		(types.ExprString(be.Y) == target && isNil(be.X))
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// emission is one Recorder method call with its receiver expression and the
+// ancestor stack leading to it.
+type emission struct {
+	call  *ast.CallExpr
+	recv  string
+	stack []ast.Node
+}
+
+// checkEmissionSites enforces guard discipline at Recorder call sites.
+func checkEmissionSites(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var stack []ast.Node
+			var walk func(n ast.Node)
+			walk = func(n ast.Node) {
+				if n == nil {
+					return
+				}
+				stack = append(stack, n)
+				ast.Inspect(n, func(c ast.Node) bool {
+					if c == nil || c == n {
+						return c == n
+					}
+					walk(c)
+					return false
+				})
+				stack = stack[:len(stack)-1]
+				if call, ok := n.(*ast.CallExpr); ok {
+					if recv, ok := recorderCall(pass, call); ok {
+						checkEmission(pass, fd, emission{call: call, recv: recv, stack: append([]ast.Node(nil), stack...)})
+					}
+				}
+			}
+			walk(fd.Body)
+		}
+	}
+}
+
+// recorderCall reports whether call is a method call on a *Recorder and
+// returns the receiver expression's printed form.
+func recorderCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+		return "", false
+	}
+	if !isRecorder(pass.TypeOf(sel.X)) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func checkEmission(pass *analysis.Pass, fd *ast.FuncDecl, em emission) {
+	// Rule 1: deferred emissions allocate a closure and a defer frame even
+	// when recording is off. A guard inside the closure does not help — the
+	// defer statement itself must sit behind one.
+	for _, anc := range em.stack {
+		if ds, ok := anc.(*ast.DeferStmt); ok {
+			if !deferGuarded(pass, fd, ds, em.recv) {
+				pass.Reportf(ds.Pos(), "deferred Recorder emission allocates a closure even when recording is off; hoist the `if %s != nil` guard around the defer statement", em.recv)
+			}
+			break
+		}
+	}
+	if isGuarded(pass, fd, em) {
+		return
+	}
+	// Rule 2: allocating payload construction outside a guard.
+	for _, arg := range em.call.Args {
+		if pos, what, found := allocExpr(pass, arg); found {
+			pass.Reportf(pos, "%s built in a Recorder call's arguments outside a `%s != nil` (or Enabled) guard: payloads must cost nothing when recording is off", what, em.recv)
+		}
+	}
+}
+
+// isGuarded reports whether the emission is protected: an ancestor
+// `if recv != nil` / `if recv.Enabled()` block, or an earlier
+// `if recv == nil { return }` early-exit in the same function.
+func isGuarded(pass *analysis.Pass, fd *ast.FuncDecl, em emission) bool {
+	for i, anc := range em.stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if !guardCond(ifs.Cond, em.recv) {
+			continue
+		}
+		// The emission must be in the guarded body, not the else branch.
+		if i+1 < len(em.stack) && em.stack[i+1] == ifs.Else {
+			continue
+		}
+		if ifs.Body.Pos() <= em.call.Pos() && em.call.Pos() <= ifs.Body.End() {
+			return true
+		}
+	}
+	return hasEarlyNilReturn(fd, em.call.Pos(), em.recv)
+}
+
+// guardCond matches `recv != nil`, `recv.Enabled()` and conjunctions
+// containing either.
+func guardCond(cond ast.Expr, recv string) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op.String() == "&&" {
+			return guardCond(c.X, recv) || guardCond(c.Y, recv)
+		}
+		return isNilComparison(cond, recv, false)
+	case *ast.CallExpr:
+		return types.ExprString(c.Fun) == recv+".Enabled"
+	case *ast.ParenExpr:
+		return guardCond(c.X, recv)
+	}
+	return false
+}
+
+// deferGuarded reports whether the defer statement itself sits inside a
+// guard block for recv.
+func deferGuarded(pass *analysis.Pass, fd *ast.FuncDecl, ds *ast.DeferStmt, recv string) bool {
+	guarded := false
+	ast.Inspect(fd.Body, func(c ast.Node) bool {
+		if guarded {
+			return false
+		}
+		if ifs, ok := c.(*ast.IfStmt); ok && guardCond(ifs.Cond, recv) {
+			if ifs.Body.Pos() <= ds.Pos() && ds.Pos() <= ifs.Body.End() {
+				guarded = true
+			}
+		}
+		return !guarded
+	})
+	return guarded || hasEarlyNilReturn(fd, ds.Pos(), recv)
+}
+
+// hasEarlyNilReturn reports whether the function body contains, lexically
+// before pos at its top level, an `if recv == nil { return ... }` (or
+// `if !recv.Enabled() { return ... }`) early exit.
+func hasEarlyNilReturn(fd *ast.FuncDecl, pos token.Pos, recv string) bool {
+	for _, stmt := range fd.Body.List {
+		if stmt.End() > pos {
+			break
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || len(ifs.Body.List) == 0 {
+			continue
+		}
+		neg := false
+		if ue, ok := ifs.Cond.(*ast.UnaryExpr); ok && ue.Op.String() == "!" {
+			if ce, ok := ue.X.(*ast.CallExpr); ok && types.ExprString(ce.Fun) == recv+".Enabled" {
+				neg = true
+			}
+		}
+		if !neg && !nilGuardCond(ifs.Cond, recv) {
+			continue
+		}
+		if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// allocExpr scans an argument expression for allocating constructs.
+func allocExpr(pass *analysis.Pass, arg ast.Expr) (pos token.Pos, what string, found bool) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pkg, ok := pass.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+						if strings.HasPrefix(sel.Sel.Name, "Sprint") || sel.Sel.Name == "Errorf" {
+							pos, what, found = n.Pos(), "fmt."+sel.Sel.Name+" payload", true
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t := pass.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pos, what, found = n.Pos(), "string concatenation", true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			pos, what, found = n.Pos(), "composite-literal payload", true
+		}
+		return !found
+	})
+	return pos, what, found
+}

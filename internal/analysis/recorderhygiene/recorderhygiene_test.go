@@ -1,0 +1,12 @@
+package recorderhygiene_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/recorderhygiene"
+)
+
+func TestRecorderHygiene(t *testing.T) {
+	analysis.RunTest(t, "../testdata", recorderhygiene.Analyzer, "sim", "emitter")
+}

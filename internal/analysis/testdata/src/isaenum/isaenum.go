@@ -1,0 +1,105 @@
+// Package isaenum is a golden fixture for the exhaustive analyzer: a scaled
+// down replica of the repo's enum families (isa.Class with its numClasses
+// sentinel, isa.RegKind without one).
+package isaenum
+
+type Class int
+
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassLoad
+	ClassStore
+	numClasses
+)
+
+type RegKind int
+
+const (
+	RegNone RegKind = iota
+	RegS
+	RegV
+)
+
+// missingNoDefault mirrors the pre-fix isa.Class.IsMemory shape: cases
+// missing, no default clause.
+func missingNoDefault(c Class) string {
+	switch c { // want "non-exhaustive switch over isaenum.Class: missing ClassStore and no default"
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassLoad:
+		return "load"
+	}
+	return ""
+}
+
+// bareDefault mirrors the pre-fix isa.RegKind.String shape: a default that
+// hides missing cases without an annotation.
+func bareDefault(c Class) string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	default: // want "default of a non-exhaustive switch over isaenum.Class .missing ClassALU, ClassLoad, ClassStore."
+		return "other"
+	}
+}
+
+// annotatedDefault is the approved escape hatch.
+func annotatedDefault(c Class) string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	default: // declint:nonexhaustive — everything but Nop takes the slow path
+		return "other"
+	}
+}
+
+// fullCoverage needs neither default nor annotation; the numClasses sentinel
+// does not count as a missing constant.
+func fullCoverage(c Class) int {
+	switch c {
+	case ClassNop:
+		return 0
+	case ClassALU:
+		return 1
+	case ClassLoad:
+		return 2
+	case ClassStore:
+		return 3
+	}
+	return -1
+}
+
+// regKinds covers an enum family with no sentinel.
+func regKinds(k RegKind) string {
+	switch k {
+	case RegNone:
+		return ""
+	case RegS:
+		return "s"
+	case RegV:
+		return "v"
+	}
+	return ""
+}
+
+// nonConstantCase makes coverage undecidable; the analyzer leaves the switch
+// to reviewer judgement.
+func nonConstantCase(c, pivot Class) bool {
+	switch c {
+	case pivot:
+		return true
+	}
+	return false
+}
+
+// notAnEnum: plain integers are not enum families.
+func notAnEnum(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+// Package qconsumer exercises the call-site half of queuediscipline:
+// discarded Push results, both on a concrete queue and through an interface
+// (mirroring the dva store-port's pushTarget indirection).
+package qconsumer
+
+import "queue"
+
+type sink interface {
+	Push(v int) bool
+}
+
+func fill(q *queue.Q) {
+	q.Push(1)     // want "result of Push discarded"
+	_ = q.Push(2) // want "result of Push discarded with _"
+	if !q.Push(3) {
+		panic("queue full after capacity check")
+	}
+	ok := q.Push(4)
+	if !ok {
+		panic("queue full after capacity check")
+	}
+}
+
+func fillIndirect(s sink) {
+	s.Push(1) // want "result of Push discarded"
+}
+
+func fillSuppressed(q *queue.Q) {
+	q.Push(9) // declint:allow queuediscipline — fixture: drop-on-full is this model's semantics
+}

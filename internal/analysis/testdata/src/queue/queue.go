@@ -1,0 +1,79 @@
+// Package queue is a golden fixture for the queuediscipline analyzer. Q is
+// the compliant shape (mirroring internal/queue.Q): every mutation inside an
+// approved mutator and the occupancy integral updated first. B and Drain are
+// the violations.
+package queue
+
+type Q struct {
+	buf  []int
+	n    int
+	stat int64
+}
+
+func New(capacity int) *Q {
+	return &Q{buf: make([]int, 0, capacity)}
+}
+
+func (q *Q) account() {
+	q.stat += int64(q.n)
+}
+
+func (q *Q) Push(v int) bool {
+	if q.n == cap(q.buf) {
+		return false
+	}
+	q.account()
+	q.buf = append(q.buf, v)
+	q.n++
+	return true
+}
+
+func (q *Q) Pop() (int, bool) {
+	if q.n == 0 {
+		return 0, false
+	}
+	q.account()
+	v := q.buf[0]
+	q.buf = q.buf[1:]
+	q.n--
+	return v, true
+}
+
+func (q *Q) Reset() {
+	q.buf = q.buf[:0]
+	q.n = 0
+}
+
+func (q *Q) Len() int {
+	return q.n
+}
+
+// Drain bypasses Push/Pop and writes queue state directly.
+func (q *Q) Drain() {
+	q.n = 0           // want "queue state mutated outside the approved mutators"
+	q.buf = q.buf[:0] // want "queue state mutated outside the approved mutators"
+}
+
+// B is a queue whose Push skips the occupancy accounting.
+type B struct {
+	n    int
+	stat int64
+}
+
+func (b *B) account() {
+	b.stat += int64(b.n)
+}
+
+func (b *B) Push(v int) bool { // want "Push mutates queue state without first updating the occupancy integral"
+	b.n++
+	return true
+}
+
+func (b *B) Pop() (int, bool) {
+	if b.n == 0 {
+		return 0, false
+	}
+	b.account()
+	b.n--
+	return 0, true
+}

@@ -1,0 +1,43 @@
+// Package sim is a golden fixture for the recorderhygiene analyzer's
+// method-side rules: it defines a Recorder whose exported pointer-receiver
+// methods must be nil-safe.
+package sim
+
+type Payload struct {
+	A, B int64
+}
+
+type Recorder struct {
+	events []Payload
+	notes  []string
+}
+
+func (r *Recorder) Enabled() bool {
+	return r != nil
+}
+
+func (r *Recorder) Emit(p Payload) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, p)
+}
+
+// EmitN's guard is a disjunction; nil still implies an early return.
+func (r *Recorder) EmitN(p Payload, n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.events = append(r.events, p)
+}
+
+func (r *Recorder) Note(s string) {
+	if r == nil {
+		return
+	}
+	r.notes = append(r.notes, s)
+}
+
+func (r *Recorder) Bad(p Payload) { // want "exported Recorder method Bad touches receiver state"
+	r.events = append(r.events, p)
+}

@@ -1,0 +1,25 @@
+// Package swconsumer exercises the exhaustive analyzer across package
+// boundaries: the enum is declared in isaenum, the rotting switch here.
+package swconsumer
+
+import "isaenum"
+
+func describe(c isaenum.Class) string {
+	switch c { // want "non-exhaustive switch over isaenum.Class: missing ClassALU, ClassLoad, ClassStore and no default"
+	case isaenum.ClassNop:
+		return "nop"
+	}
+	return ""
+}
+
+func route(c isaenum.Class) int {
+	switch c {
+	case isaenum.ClassNop:
+		return 0
+	case isaenum.ClassALU:
+		return 1
+	case isaenum.ClassLoad, isaenum.ClassStore:
+		return 2
+	}
+	return -1
+}

@@ -1,0 +1,9 @@
+// Package tracegen verifies the determinism analyzer's package filter: this
+// basename is not a model package, so wall-clock reads are fine here.
+package tracegen
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

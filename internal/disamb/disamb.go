@@ -45,7 +45,7 @@ func RangeOf(in *isa.Inst) Range {
 			lo = in.Base - down
 		}
 		return Range{Lo: lo, Hi: in.Base + isa.ElemSize}
-	default:
+	default: // declint:nonexhaustive — non-memory classes carry no address range; callers must filter with IsMemory first
 		panic(fmt.Sprintf("disamb: RangeOf on non-memory instruction %s", in))
 	}
 }

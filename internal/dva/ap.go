@@ -28,13 +28,15 @@ func (m *machine) stepAP() {
 		}
 		m.flushWaitSeq = -1
 	}
-	seq, class, pops := u.in.Seq, u.in.Class, m.apIQ.Pops()
 	in := &u.in
-	defer func() {
-		if m.rec != nil && m.apIQ.Pops() > pops {
-			m.rec.Issue(m.now, sim.ProcAP, seq, class.String())
-		}
-	}()
+	if m.rec != nil {
+		seq, class, pops := in.Seq, in.Class, m.apIQ.Pops()
+		defer func() {
+			if m.apIQ.Pops() > pops {
+				m.rec.Issue(m.now, sim.ProcAP, seq, class.String())
+			}
+		}()
+	}
 	switch in.Class {
 	case isa.ClassScalarALU:
 		m.apScalarALU(in)
@@ -48,7 +50,7 @@ func (m *machine) stepAP() {
 		m.apVectorLoad(in)
 	case isa.ClassVectorStore, isa.ClassScatter:
 		m.apVectorStore(in)
-	default:
+	default: // declint:nonexhaustive — the front end routes only memory, branch and scalar-ALU classes here; anything else is a routing bug
 		panic(fmt.Sprintf("dva: AP cannot execute %s", in))
 	}
 }
@@ -57,11 +59,8 @@ func (m *machine) stepAP() {
 // sources of an AP instruction. It does not consume anything.
 func (m *machine) apSrcsReady(in *isa.Inst) bool {
 	for _, src := range [...]isa.Reg{in.Src1, in.Src2} {
-		switch src.Kind {
-		case isa.RegA:
-			if m.aReady[src.Idx] > m.now {
-				return false
-			}
+		if src.Kind == isa.RegA && m.aReady[src.Idx] > m.now {
+			return false
 		}
 	}
 	if n := countSSources(in); n > 0 {
@@ -108,7 +107,9 @@ func (m *machine) apBranch(in *isa.Inst) {
 		return
 	}
 	m.apConsumeSrcs(in)
-	m.afbq.Push(m.now, in.Seq)
+	if !m.afbq.Push(m.now, in.Seq) {
+		panic("dva: AFBQ push failed after capacity check")
+	}
 	m.apIQ.Pop(m.now)
 	m.progress()
 }
@@ -178,7 +179,9 @@ func (m *machine) apScalarLoad(in *isa.Inst) {
 	}
 	m.apConsumeSrcs(in)
 	if toS {
-		m.asdq.Push(m.now, sslot{seq: in.Seq, readyAt: dataAt})
+		if !m.asdq.Push(m.now, sslot{seq: in.Seq, readyAt: dataAt}) {
+			panic("dva: ASDQ push failed after capacity check")
+		}
 	} else {
 		m.aReady[in.Dst.Idx] = dataAt
 	}
@@ -209,7 +212,9 @@ func (m *machine) apScalarStore(in *isa.Inst) {
 	}
 	m.apConsumeSrcs(in)
 	m.cache.Store(in.Base)
-	m.ssaq.Push(m.now, entry)
+	if !m.ssaq.Push(m.now, entry) {
+		panic("dva: SSAQ push failed after capacity check")
+	}
 	m.apIQ.Pop(m.now)
 	m.progress()
 }
@@ -244,7 +249,9 @@ func (m *machine) apVectorLoad(in *isa.Inst) {
 	m.bus.Reserve(m.now, vl)
 	m.rec.BusGrant(m.now, sim.ProcAP, in.Seq, vl)
 	m.traffic.LoadElems += vl
-	m.avdq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.AccessLatency(in.Base, in.Seq) + vl})
+	if !m.avdq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.AccessLatency(in.Base, in.Seq) + vl}) {
+		panic("dva: AVDQ push failed after capacity check")
+	}
 	m.apIQ.Pop(m.now)
 	m.progress()
 }
@@ -273,12 +280,14 @@ func (m *machine) apTryBypass(in *isa.Inst, storeSeq, vl int64) {
 	}
 	m.apConsumeSrcs(in)
 	m.bypassBusyUntil = m.now + vl
-	m.avdq.Push(m.now, vslot{
+	if !m.avdq.Push(m.now, vslot{
 		seq:      in.Seq,
 		vl:       vl,
 		readyAt:  m.now + m.cfg.QMovDepth + vl,
 		bypassed: true,
-	})
+	}) {
+		panic("dva: AVDQ push failed after capacity check")
+	}
 	m.bypasses++
 	m.bypElems += vl
 	m.rec.Bypass(m.now, in.Seq, vl)
@@ -297,14 +306,16 @@ func (m *machine) apVectorStore(in *isa.Inst) {
 	}
 	m.apConsumeSrcs(in)
 	m.invalidateRange(in)
-	m.vsaq.Push(m.now, storeAddr{
+	if !m.vsaq.Push(m.now, storeAddr{
 		seq:       in.Seq,
 		rng:       disamb.RangeOf(in),
 		vl:        int64(in.VL),
 		isVector:  true,
 		needsData: true,
 		inst:      *in,
-	})
+	}) {
+		panic("dva: VSAQ push failed after capacity check")
+	}
 	m.apIQ.Pop(m.now)
 	m.progress()
 }

@@ -16,12 +16,14 @@ func (m *machine) stepSP() {
 	if !ok {
 		return
 	}
-	seq, label, pops := u.in.Seq, uopLabel(u), m.spIQ.Pops()
-	defer func() {
-		if m.rec != nil && m.spIQ.Pops() > pops {
-			m.rec.Issue(m.now, sim.ProcSP, seq, label)
-		}
-	}()
+	if m.rec != nil {
+		seq, label, pops := u.in.Seq, uopLabel(u), m.spIQ.Pops()
+		defer func() {
+			if m.spIQ.Pops() > pops {
+				m.rec.Issue(m.now, sim.ProcSP, seq, label)
+			}
+		}()
+	}
 	in := &u.in
 	switch u.kind {
 	case uExec:
@@ -68,7 +70,7 @@ func (m *machine) stepSP() {
 			src = in.Src2
 		}
 		m.spMoveOut(in, src, m.saaq)
-	default:
+	default: // declint:nonexhaustive — the inbound vector-side QMOVs (uQMovAVtoV, uQMovVtoVA) dispatch to the VP, never here
 		panic(fmt.Sprintf("dva: SP cannot execute %s of %s", u.kind, in))
 	}
 }
@@ -89,7 +91,9 @@ func (m *machine) spMoveOut(in *isa.Inst, src isa.Reg, q interface {
 		m.stall(sim.StallSPQueueFull)
 		return
 	}
-	q.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + 1})
+	if !q.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + 1}) {
+		panic("dva: QMOV push failed after capacity check")
+	}
 	m.spIQ.Pop(m.now)
 	m.progress()
 }
@@ -107,6 +111,7 @@ func (m *machine) spExec(in *isa.Inst) {
 			}
 		case isa.RegA:
 			panic(fmt.Sprintf("dva: SP instruction reads A register: %s", in))
+		default: // declint:nonexhaustive — RegNone means the operand is unused; vector operands never reach spExec
 		}
 	}
 	switch in.Class {
@@ -121,8 +126,10 @@ func (m *machine) spExec(in *isa.Inst) {
 			m.stall(sim.StallSPSFBQ)
 			return
 		}
-		m.sfbq.Push(m.now, in.Seq)
-	default:
+		if !m.sfbq.Push(m.now, in.Seq) {
+			panic("dva: SFBQ push failed after capacity check")
+		}
+	default: // declint:nonexhaustive — memory and vector classes route to the AP/VP; reaching here is a routing bug
 		panic(fmt.Sprintf("dva: SP cannot execute class %s", in.Class))
 	}
 	m.spIQ.Pop(m.now)

@@ -16,12 +16,14 @@ func (m *machine) stepVP() {
 	if !ok {
 		return
 	}
-	seq, label, pops := u.in.Seq, uopLabel(u), m.vpIQ.Pops()
-	defer func() {
-		if m.rec != nil && m.vpIQ.Pops() > pops {
-			m.rec.Issue(m.now, sim.ProcVP, seq, label)
-		}
-	}()
+	if m.rec != nil {
+		seq, label, pops := u.in.Seq, uopLabel(u), m.vpIQ.Pops()
+		defer func() {
+			if m.vpIQ.Pops() > pops {
+				m.rec.Issue(m.now, sim.ProcVP, seq, label)
+			}
+		}()
+	}
 	in := &u.in
 	switch u.kind {
 	case uExec:
@@ -30,7 +32,7 @@ func (m *machine) stepVP() {
 		m.vpQMovLoad(in)
 	case uQMovVtoVA:
 		m.vpQMovStore(in)
-	default:
+	default: // declint:nonexhaustive — the scalar-side QMOVs (S-register traffic) dispatch to the SP, never here
 		panic(fmt.Sprintf("dva: VP cannot execute %s of %s", u.kind, in))
 	}
 }
@@ -138,7 +140,9 @@ func (m *machine) vpQMovStore(in *isa.Inst) {
 	vl := int64(in.VL)
 	m.qmovBusy[unit] = m.now + vl
 	m.markVRead(in.Dst, vl)
-	m.vadq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.QMovDepth + vl})
+	if !m.vadq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.QMovDepth + vl}) {
+		panic("dva: VADQ push failed after capacity check")
+	}
 	m.vpIQ.Pop(m.now)
 	m.progress()
 }
@@ -193,7 +197,9 @@ func (m *machine) vpExec(in *isa.Inst) {
 	m.markVRead(in.Src1, vl)
 	m.markVRead(in.Src2, vl)
 	if isReduce {
-		m.vsdq.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + m.cfg.Depth(in.Op) + vl})
+		if !m.vsdq.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + m.cfg.Depth(in.Op) + vl}) {
+			panic("dva: VSDQ push failed after capacity check")
+		}
 	} else {
 		reg := &m.vRegs[in.Dst.Idx]
 		reg.writeStart = m.now

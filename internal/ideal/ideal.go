@@ -62,7 +62,7 @@ func Compute(src trace.Source) Bound {
 			b.ScalarCache++
 			b.ScalarProc++
 			b.MemPort++
-		default:
+		default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs cost one scalar-processor slot each
 			b.ScalarProc++
 		}
 	}

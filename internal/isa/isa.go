@@ -37,6 +37,8 @@ const (
 // String returns the file prefix letter ("A", "S", "V") or "-" for RegNone.
 func (k RegKind) String() string {
 	switch k {
+	case RegNone:
+		return "-"
 	case RegA:
 		return "A"
 	case RegS:
@@ -65,6 +67,8 @@ var None = Reg{}
 // Valid reports whether r names an existing register.
 func (r Reg) Valid() bool {
 	switch r.Kind {
+	case RegNone:
+		return false
 	case RegA:
 		return r.Idx < NumARegs
 	case RegS:
@@ -150,6 +154,9 @@ func (c Class) IsMemory() bool {
 	case ClassScalarLoad, ClassScalarStore, ClassVectorLoad, ClassVectorStore,
 		ClassGather, ClassScatter:
 		return true
+	case ClassNop, ClassScalarALU, ClassBranch, ClassVectorALU, ClassReduce,
+		ClassVSetVL, ClassVSetVS:
+		return false
 	}
 	return false
 }
@@ -159,6 +166,9 @@ func (c Class) IsVectorMemory() bool {
 	switch c {
 	case ClassVectorLoad, ClassVectorStore, ClassGather, ClassScatter:
 		return true
+	case ClassNop, ClassScalarALU, ClassScalarLoad, ClassScalarStore,
+		ClassBranch, ClassVectorALU, ClassReduce, ClassVSetVL, ClassVSetVS:
+		return false
 	}
 	return false
 }
@@ -168,6 +178,10 @@ func (c Class) IsLoad() bool {
 	switch c {
 	case ClassScalarLoad, ClassVectorLoad, ClassGather:
 		return true
+	case ClassNop, ClassScalarALU, ClassScalarStore, ClassBranch,
+		ClassVectorALU, ClassVectorStore, ClassScatter, ClassReduce,
+		ClassVSetVL, ClassVSetVS:
+		return false
 	}
 	return false
 }
@@ -177,6 +191,10 @@ func (c Class) IsStore() bool {
 	switch c {
 	case ClassScalarStore, ClassVectorStore, ClassScatter:
 		return true
+	case ClassNop, ClassScalarALU, ClassScalarLoad, ClassBranch,
+		ClassVectorALU, ClassVectorLoad, ClassGather, ClassReduce,
+		ClassVSetVL, ClassVSetVS:
+		return false
 	}
 	return false
 }
@@ -244,6 +262,8 @@ func (o Opcode) FU1Capable() bool {
 	switch o {
 	case OpMul, OpDiv, OpSqrt, OpMulAdd:
 		return false
+	case OpNone, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShift, OpCmp, OpMin, OpMax:
+		return true
 	}
 	return true
 }
@@ -292,6 +312,9 @@ func (in *Inst) IsVector() bool {
 	case ClassVectorALU, ClassVectorLoad, ClassVectorStore, ClassGather,
 		ClassScatter, ClassReduce:
 		return true
+	case ClassNop, ClassScalarALU, ClassScalarLoad, ClassScalarStore,
+		ClassBranch, ClassVSetVL, ClassVSetVS:
+		return false
 	}
 	return false
 }
@@ -323,7 +346,8 @@ func (in *Inst) String() string {
 		return fmt.Sprintf("#%d vsetvl %d", in.Seq, in.VL)
 	case ClassVSetVS:
 		return fmt.Sprintf("#%d vsetvs %d", in.Seq, in.Stride)
-	default:
+	default: // declint:nonexhaustive — nop, scalar ALU and branch share the generic three-operand format
+
 		return fmt.Sprintf("#%d %s.%s %s, %s, %s", in.Seq, in.Class, in.Op, in.Dst, in.Src1, in.Src2)
 	}
 }
@@ -386,6 +410,7 @@ func (in *Inst) Validate() error {
 		if err := check(in.Dst.Kind == RegA || in.Dst.Kind == RegS, "scalar store must read A or S, got %v", in.Dst); err != nil {
 			return err
 		}
+	default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs carry no class-specific register invariants
 	}
 	return nil
 }

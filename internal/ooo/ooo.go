@@ -230,6 +230,7 @@ func (m *machine) fetch() {
 			m.sValues[in.Dst.Idx] = e.dst
 		case isa.RegA:
 			m.aValues[in.Dst.Idx] = e.dst
+		default: // declint:nonexhaustive — RegNone is excluded by the enclosing if; RegV takes the needsPhys rename path
 		}
 	}
 	m.window = append(m.window, e)
@@ -245,7 +246,7 @@ func (m *machine) lookup(r isa.Reg) *value {
 		return m.sValues[r.Idx]
 	case isa.RegA:
 		return m.aValues[r.Idx]
-	default:
+	default: // declint:nonexhaustive — RegNone operands read as an always-ready zero value
 		return &zeroValue
 	}
 }

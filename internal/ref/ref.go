@@ -157,7 +157,7 @@ func (m *machine) scalarReady(r isa.Reg) int64 {
 		return m.aReady[r.Idx]
 	case isa.RegS:
 		return m.sReady[r.Idx]
-	default:
+	default: // declint:nonexhaustive — RegNone has no readiness and vector readiness lives in srcReadyVector
 		return 0
 	}
 }
@@ -168,6 +168,7 @@ func (m *machine) setScalarReady(r isa.Reg, c int64) {
 		m.aReady[r.Idx] = c
 	case isa.RegS:
 		m.sReady[r.Idx] = c
+	default: // declint:nonexhaustive — only scalar registers have scalar readiness; RegNone/RegV writes land elsewhere
 	}
 	m.done(c)
 }
@@ -197,7 +198,7 @@ func (m *machine) srcReady(r isa.Reg) int64 {
 		return 0
 	case isa.RegV:
 		return m.srcReadyVector(r)
-	default:
+	default: // declint:nonexhaustive — RegA and RegS share the scalar scoreboard
 		return m.scalarReady(r)
 	}
 }
@@ -260,6 +261,7 @@ func (m *machine) earliestIssue(in *isa.Inst, lb int64) (int64, sim.StallReason)
 		if in.Class == isa.ClassScalarStore || !m.peekHit(in.Base) {
 			bump(&e, &why, m.bus.FreeCycle(), sim.StallRefBus)
 		}
+	default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs contend for no structural resource
 	}
 	return e, why
 }

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"decvec/internal/sim"
+)
+
+// tableResult builds a fixed synthetic result so the table goldens are
+// independent of simulator behaviour.
+func tableResult() *sim.Result {
+	res := &sim.Result{Arch: "DVA", Cycles: 1000}
+	res.Stalls.Add(sim.StallAPBus, 250)
+	res.Stalls.Add(sim.StallVPData, 125)
+	res.Stalls.Add(sim.StallSPData, 5)
+	res.Queues = []sim.QueueStat{
+		{Name: "AVDQ", Cap: 256, Pushes: 420, Pops: 420, Peak: 31, MeanLen: 3.5, FullCycles: 0},
+		{Name: "VADQ", Cap: 16, Pushes: 96, Pops: 96, Peak: 16, MeanLen: 12.8, FullCycles: 77},
+	}
+	return res
+}
+
+func TestStallTableGolden(t *testing.T) {
+	got := StallTable(tableResult())
+	// Rows sort by cycle count, descending; columns are 2-space padded and the
+	// percentage keeps the %5.1f width so digits align down the column.
+	want := strings.Join([]string{
+		"Stall cycles by cause",
+		"cause    unit  cycles  % of run",
+		"-------------------------------",
+		"AP.bus   AP    250      25.0   ",
+		"VP.data  VP    125      12.5   ",
+		"SP.data  SP    5         0.5   ",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("StallTable mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestQueueTableGolden(t *testing.T) {
+	got := QueueTable(tableResult())
+	want := strings.Join([]string{
+		"Queue occupancy",
+		"queue  cap  pushes  peak  mean   pressure  full cycles",
+		"------------------------------------------------------",
+		"AVDQ   256  420     31    3.50   0.014     0          ",
+		"VADQ   16   96      16    12.80  0.800     77         ",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("QueueTable mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// An empty result (no stalls, no queues — the REF shape) must render the
+// headers and nothing else, not crash.
+func TestTablesEmptyResult(t *testing.T) {
+	res := &sim.Result{Arch: "REF"}
+	st := StallTable(res)
+	if !strings.Contains(st, "Stall cycles by cause") || strings.Contains(st, "AP.") {
+		t.Errorf("empty StallTable rendered rows: %q", st)
+	}
+	qt := QueueTable(res)
+	if !strings.Contains(qt, "Queue occupancy") || strings.Contains(qt, "AVDQ") {
+		t.Errorf("empty QueueTable rendered rows: %q", qt)
+	}
+}
+
+// WriteTraceEvents with a nil recorder must still emit a valid, loadable
+// Trace Event Format document (metadata only).
+func TestWriteTraceEventsNilRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	res := &sim.Result{Arch: "DVA", Cycles: 10}
+	if err := WriteTraceEvents(&buf, res, nil); err != nil {
+		t.Fatalf("WriteTraceEvents(nil recorder): %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, e := range doc.TraceEvents {
+		if e["ph"] != "M" {
+			t.Errorf("nil recorder produced a non-metadata event: %v", e)
+		}
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("expected metadata events naming the timeline threads")
+	}
+}
+
+func TestMetricsJSONGolden(t *testing.T) {
+	b, err := MetricsJSON(tableResult())
+	if err != nil {
+		t.Fatalf("MetricsJSON: %v", err)
+	}
+	var m Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("MetricsJSON output does not round-trip: %v", err)
+	}
+	if m.Cycles != 1000 || len(m.Stalls) != 3 || len(m.Queues) != 2 {
+		t.Errorf("MetricsJSON lost data: cycles=%d stalls=%d queues=%d", m.Cycles, len(m.Stalls), len(m.Queues))
+	}
+	if m.Stalls[0].Reason != "AP.bus" || m.Stalls[0].Cycles != 250 {
+		t.Errorf("stall ordering: got %+v, want AP.bus first with 250 cycles", m.Stalls[0])
+	}
+}

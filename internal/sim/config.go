@@ -118,7 +118,7 @@ func (c *Config) Depth(op isa.Opcode) int64 {
 		return c.DivDepth
 	case isa.OpSqrt:
 		return c.SqrtDepth
-	default:
+	default: // declint:nonexhaustive — every other opcode (add/logic/compare family) runs at the short add depth
 		return c.AddDepth
 	}
 }
