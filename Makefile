@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench verify
+.PHONY: build test vet lint race bench profile verify
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,22 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark once (with the dvabench PGO profile, matching how
+# the CLI itself is built) and folds the results against the checked-in pre-PR
+# baseline into BENCH_PR3.json — ns/op, B/op, allocs/op, sims/op, and the
+# figure-benchmark geomean speedup. See EXPERIMENTS.md "Reproducing".
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' \
+		-pgo=cmd/dvabench/default.pgo . | tee bench_current.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr3.txt \
+		-current bench_current.txt -out BENCH_PR3.json
+
+# profile produces pprof CPU and heap profiles of a full dvabench run.
+# Inspect with: go tool pprof dvabench.bin cpu.pprof
+profile:
+	$(GO) build -o dvabench.bin ./cmd/dvabench
+	./dvabench.bin -q -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof dvabench.bin cpu.pprof)"
 
 verify:
 	$(GO) build ./...

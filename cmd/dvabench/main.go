@@ -7,6 +7,14 @@
 // Each experiment prints an ASCII rendition of the corresponding paper
 // table or figure. Experiments sharing simulation runs (fig3/4/5) reuse a
 // common cache, so running "all" costs little more than the union of runs.
+//
+// The -cpuprofile and -memprofile flags write runtime/pprof profiles
+// covering the experiment runs, for use with "go tool pprof" (see also
+// "make profile"). Profiling is passive; reports are unaffected.
+//
+// -slowtick disables the idle-skip fast path and simulates every cycle
+// (DESIGN.md "Idle-skip advancement"). The output is byte-identical in
+// both modes; only the wall clock differs.
 package main
 
 import (
@@ -14,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,10 +32,13 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiments to run, or 'all'; available: "+strings.Join(decvec.ExperimentNames(), ","))
-		scale  = flag.Float64("scale", 1.0, "trace scale factor (1.0 = default trace sizes)")
-		quiet  = flag.Bool("q", false, "suppress timing output")
-		outDir = flag.String("out", "", "also write each experiment's report to <dir>/<name>.txt")
+		exps       = flag.String("exp", "all", "comma-separated experiments to run, or 'all'; available: "+strings.Join(decvec.ExperimentNames(), ","))
+		scale      = flag.Float64("scale", 1.0, "trace scale factor (1.0 = default trace sizes)")
+		quiet      = flag.Bool("q", false, "suppress timing output")
+		outDir     = flag.String("out", "", "also write each experiment's report to <dir>/<name>.txt")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
+		slowTick   = flag.Bool("slowtick", false, "disable the idle-skip fast path and simulate every cycle (same output, ~3x slower)")
 	)
 	flag.Parse()
 
@@ -35,12 +48,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	names := decvec.ExperimentNames()
 	if *exps != "all" {
 		names = strings.Split(*exps, ",")
 	}
 	suite := decvec.NewSuite(*scale)
+	suite.SlowTick = *slowTick
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -63,5 +92,19 @@ func main() {
 		if !*quiet {
 			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle allocations so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -71,3 +71,23 @@ func (m *machine) cheapUnguarded(v int64) {
 func (m *machine) cheapNote() {
 	m.rec.Note("tick")
 }
+
+// bulkSpan mirrors the idle-skip accounting call sites: pre-built payloads
+// and integer weights are cheap arguments, so no guard is required.
+func (m *machine) bulkSpan(p sim.Payload, skipped int64) {
+	m.rec.EmitSpan(p, skipped)
+}
+
+// bulkSpanUnguarded builds the payload at the call — that allocation must
+// still sit behind a guard even on the bulk path.
+func (m *machine) bulkSpanUnguarded(lo, hi int64) {
+	m.rec.EmitSpan(sim.Payload{A: lo}, hi-lo) // want "composite-literal payload built in a Recorder call"
+}
+
+// bulkSpanGuarded is the same site with the guard hoisted, as the machines'
+// skipTo helpers do.
+func (m *machine) bulkSpanGuarded(lo, hi int64) {
+	if m.rec != nil {
+		m.rec.EmitSpan(sim.Payload{A: lo}, hi-lo)
+	}
+}

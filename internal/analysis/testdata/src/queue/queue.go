@@ -77,3 +77,17 @@ func (b *B) Pop() (int, bool) {
 	b.n--
 	return 0, true
 }
+
+// AllVisible mirrors the read-only visibility probe the idle-skip fast path
+// added: it inspects queue state without assigning, so the mutation rules
+// must leave it alone.
+func (q *Q) AllVisible(now int64) bool {
+	return q.n == 0 || q.stat <= now
+}
+
+// SkipTo is the bulk-accounting anti-pattern: a time jump that patches the
+// occupancy integral by writing the stat field directly instead of going
+// through account().
+func (q *Q) SkipTo(now int64) {
+	q.stat = now * int64(q.n) // want "queue state mutated outside the approved mutators"
+}

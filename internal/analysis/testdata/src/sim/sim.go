@@ -41,3 +41,22 @@ func (r *Recorder) Note(s string) {
 func (r *Recorder) Bad(p Payload) { // want "exported Recorder method Bad touches receiver state"
 	r.events = append(r.events, p)
 }
+
+// EmitSpan is the compliant bulk-accounting shape the idle-skip fast path
+// introduced (ObserveN and friends): one call accounts a whole skipped span,
+// with the nil check folded into the weight guard.
+func (r *Recorder) EmitSpan(p Payload, n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	p.B = n
+	r.events = append(r.events, p)
+}
+
+// BadSpan takes the weight guard but skips the nil check.
+func (r *Recorder) BadSpan(p Payload, n int64) { // want "exported Recorder method BadSpan touches receiver state"
+	if n <= 0 {
+		return
+	}
+	r.events = append(r.events, p)
+}

@@ -28,7 +28,7 @@ func (m *machine) stepAP() {
 		}
 		m.flushWaitSeq = -1
 	}
-	in := &u.in
+	in := u.in
 	if m.rec != nil {
 		seq, class, pops := in.Seq, in.Class, m.apIQ.Pops()
 		defer func() {
@@ -114,17 +114,38 @@ func (m *machine) apBranch(in *isa.Inst) {
 	m.progress()
 }
 
+// disambCheck disambiguates the load against the pending stores, memoizing
+// the verdict. Check is a pure function of the load and the visible
+// store-queue entries, so a load re-checking while stalled (on the bus, a
+// full data queue, ...) reuses the cached verdict as long as neither store
+// queue has pushed or popped and the cached scan saw every queued entry.
+func (m *machine) disambCheck(in *isa.Inst) disamb.Conflict {
+	// Pushes+Pops over both queues strictly increases on any queue movement,
+	// so equality means the queue contents are untouched.
+	ver := m.ssaq.Pushes() + m.ssaq.Pops() + m.vsaq.Pushes() + m.vsaq.Pops()
+	if m.disambOK && m.disambSeq == in.Seq && m.disambVer == ver {
+		return m.disambRes
+	}
+	c := disamb.Check(in, m.pendingStores())
+	m.disambSeq, m.disambVer, m.disambRes = in.Seq, ver, c
+	// Entries pushed this very cycle are invisible to the scan but become
+	// visible next cycle without any counter movement; only a fully-visible
+	// snapshot may be reused.
+	m.disambOK = m.ssaq.AllVisible(m.now) && m.vsaq.AllVisible(m.now)
+	return c
+}
+
 // pendingStores snapshots both store address queues for disambiguation.
 // The returned slice is scratch storage owned by the machine; it is only
 // valid until the next call.
 func (m *machine) pendingStores() []disamb.PendingStore {
 	ps := m.psScratch[:0]
 	m.ssaq.All(m.now, func(st *storeAddr) bool {
-		ps = append(ps, disamb.PendingStore{Inst: &st.inst, Range: st.rng})
+		ps = append(ps, disamb.PendingStore{Inst: st.inst, Range: st.rng})
 		return true
 	})
 	m.vsaq.All(m.now, func(st *storeAddr) bool {
-		ps = append(ps, disamb.PendingStore{Inst: &st.inst, Range: st.rng})
+		ps = append(ps, disamb.PendingStore{Inst: st.inst, Range: st.rng})
 		return true
 	})
 	m.psScratch = ps
@@ -135,10 +156,10 @@ func (m *machine) pendingStores() []disamb.PendingStore {
 // in either store address queue, or MaxInt64 when both are empty.
 func (m *machine) oldestPendingStoreSeq() int64 {
 	oldest := int64(math.MaxInt64)
-	if st, ok := m.ssaq.Peek(m.now); ok && st.seq < oldest {
+	if st, ok := m.ssaq.Head(m.now); ok && st.seq < oldest {
 		oldest = st.seq
 	}
-	if st, ok := m.vsaq.Peek(m.now); ok && st.seq < oldest {
+	if st, ok := m.vsaq.Head(m.now); ok && st.seq < oldest {
 		oldest = st.seq
 	}
 	return oldest
@@ -149,10 +170,13 @@ func (m *machine) apScalarLoad(in *isa.Inst) {
 		m.stall(sim.StallAPData)
 		return
 	}
-	if c := disamb.Check(in, m.pendingStores()); c.Hazard {
-		// Scalar loads never bypass; drain the offending stores.
+	if c := m.disambCheck(in); c.Hazard {
+		// Scalar loads never bypass; drain the offending stores. Initiating
+		// the flush mutates state on a stall path (the next cycle stalls as
+		// StallAPFlush, not StallAPHazard), so it must block the idle skip.
 		m.flushWaitSeq = c.YoungestSeq
 		m.flushes++
+		m.mutated = true
 		m.rec.Flush(m.now, c.YoungestSeq)
 		m.stall(sim.StallAPHazard)
 		return
@@ -202,7 +226,7 @@ func (m *machine) apScalarStore(in *isa.Inst) {
 		seq:  in.Seq,
 		rng:  disamb.RangeOf(in),
 		vl:   1,
-		inst: *in,
+		inst: in,
 	}
 	if in.Dst.Kind == isa.RegS {
 		entry.needsData = true
@@ -229,14 +253,16 @@ func (m *machine) apVectorLoad(in *isa.Inst) {
 		return
 	}
 	vl := int64(in.VL)
-	c := disamb.Check(in, m.pendingStores())
+	c := m.disambCheck(in)
 	if c.Hazard {
 		if m.cfg.Bypass && c.BypassSeq >= 0 && c.BypassSeq == c.YoungestSeq {
 			m.apTryBypass(in, c.BypassSeq, vl)
 			return
 		}
+		// Flush initiation mutates state on a stall path; see apScalarLoad.
 		m.flushWaitSeq = c.YoungestSeq
 		m.flushes++
+		m.mutated = true
 		m.rec.Flush(m.now, c.YoungestSeq)
 		m.stall(sim.StallAPHazard)
 		return
@@ -312,7 +338,7 @@ func (m *machine) apVectorStore(in *isa.Inst) {
 		vl:        int64(in.VL),
 		isVector:  true,
 		needsData: true,
-		inst:      *in,
+		inst:      in,
 	}) {
 		panic("dva: VSAQ push failed after capacity check")
 	}
@@ -324,11 +350,7 @@ func (m *machine) invalidateRange(in *isa.Inst) {
 	if in.Class == isa.ClassScatter {
 		return
 	}
-	addr := in.Base
-	for i := 0; i < in.VL; i++ {
-		m.cache.Invalidate(addr)
-		addr += uint64(in.Stride) * isa.ElemSize
-	}
+	m.cache.InvalidateStrided(in.Base, in.Stride*isa.ElemSize, in.VL)
 }
 
 // stepStoreEngine performs queued stores "behind the back" of the AP: when
@@ -347,9 +369,9 @@ func (m *machine) stepStoreEngine() {
 		// begin next cycle.
 		return
 	}
-	sHead, sok := m.ssaq.Peek(m.now)
-	vHead, vok := m.vsaq.Peek(m.now)
-	var st storeAddr
+	sHead, sok := m.ssaq.Head(m.now)
+	vHead, vok := m.vsaq.Head(m.now)
+	var st *storeAddr
 	switch {
 	case sok && (!vok || sHead.seq < vHead.seq):
 		st = sHead
@@ -358,7 +380,7 @@ func (m *machine) stepStoreEngine() {
 	default:
 		return
 	}
-	if !m.storeDataReady(&st) {
+	if !m.storeDataReady(st) {
 		m.stall(sim.StallSTData)
 		return
 	}
@@ -384,7 +406,7 @@ func (m *machine) storeDataReady(st *storeAddr) bool {
 		return st.dataReadyAt <= m.now
 	}
 	if st.isVector {
-		v, ok := m.vadq.Peek(m.now)
+		v, ok := m.vadq.Head(m.now)
 		if !ok {
 			return false
 		}
@@ -393,7 +415,7 @@ func (m *machine) storeDataReady(st *storeAddr) bool {
 		}
 		return v.readyAt <= m.now
 	}
-	s, ok := m.sadq.Peek(m.now)
+	s, ok := m.sadq.Head(m.now)
 	if !ok {
 		return false
 	}

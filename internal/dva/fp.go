@@ -15,20 +15,27 @@ type push struct {
 	u uop
 }
 
+// queueNeed is the number of slots one dispatch requires in a queue.
+type queueNeed struct {
+	q    *queue.Q[uop]
+	need int
+}
+
 // stepFetch advances the fetch processor by one cycle: it drains the branch
 // result queues (perfect branch prediction — outcomes are consumed but
 // never stall fetch, §4.1) and dispatches at most one instruction,
 // translating it into its decoupled form and fabricating the necessary QMOV
 // pseudo-instructions.
 func (m *machine) stepFetch() {
-	// Drain branch outcome queues for free.
-	for {
+	// Drain branch outcome queues for free. The inlined emptiness guards
+	// keep the (non-inlined) Pop call off the common every-cycle path.
+	for !m.afbq.Empty() {
 		if _, ok := m.afbq.Pop(m.now); !ok {
 			break
 		}
 		m.progress()
 	}
-	for {
+	for !m.sfbq.Empty() {
 		if _, ok := m.sfbq.Pop(m.now); !ok {
 			break
 		}
@@ -41,32 +48,36 @@ func (m *machine) stepFetch() {
 			m.streamDone = true
 			return
 		}
-		m.pending = *in
+		m.pending = in
 		m.hasPending = true
-		m.countInst(&m.pending)
-	}
-
-	pushes := m.route(m.pushScratch[:0], &m.pending)
-	m.pushScratch = pushes
-	// All destination queues must have room for their share of the pushes;
-	// the dispatch is atomic. There are at most four pushes, so the
-	// duplicate counting is a couple of comparisons.
-	for i := range pushes {
-		need := 1
-		dup := false
-		for j := range pushes {
-			if j != i && pushes[j].q == pushes[i].q {
-				if j < i {
-					dup = true
+		m.countInst(m.pending)
+		// Route once per instruction: the translation depends only on the
+		// pending instruction, so the uop list (pushScratch) and the
+		// per-queue capacity demands (needScratch) stay valid across
+		// however many cycles dispatch stalls.
+		m.pushScratch = m.route(m.pushScratch[:0], m.pending)
+		m.needScratch = m.needScratch[:0]
+		for _, p := range m.pushScratch {
+			found := false
+			for i := range m.needScratch {
+				if m.needScratch[i].q == p.q {
+					m.needScratch[i].need++
+					found = true
 					break
 				}
-				need++
+			}
+			if !found {
+				m.needScratch = append(m.needScratch, queueNeed{q: p.q, need: 1})
 			}
 		}
-		if dup {
-			continue // counted at the first occurrence
-		}
-		if pushes[i].q.Cap()-pushes[i].q.Len() < need {
+	}
+	pushes := m.pushScratch
+	// All destination queues must have room for their share of the pushes;
+	// the dispatch is atomic. The per-queue shares were counted once at
+	// routing time (needScratch), so the re-check a blocked dispatch makes
+	// every cycle is one capacity comparison per distinct queue.
+	for _, nd := range m.needScratch {
+		if nd.q.Cap()-nd.q.Len() < nd.need {
 			m.stall(sim.StallFPDispatch)
 			return
 		}
@@ -105,7 +116,7 @@ func (m *machine) countInst(in *isa.Inst) {
 // the three processors (§4.1's simple translation rules), appending them to
 // ps and returning the extended slice.
 func (m *machine) route(ps []push, in *isa.Inst) []push {
-	exec := uop{kind: uExec, in: *in}
+	exec := uop{kind: uExec, in: in}
 	switch in.Class {
 	case isa.ClassNop, isa.ClassVSetVL, isa.ClassVSetVS:
 		return append(ps, push{m.spIQ, exec})
@@ -116,7 +127,7 @@ func (m *machine) route(ps []push, in *isa.Inst) []push {
 			// The AP receives S-register operands through the SAAQ.
 			for _, src := range [...]isa.Reg{in.Src1, in.Src2} {
 				if src.Kind == isa.RegS {
-					ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSAA, in: *in}})
+					ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSAA, in: in}})
 				}
 			}
 			return ps
@@ -126,7 +137,7 @@ func (m *machine) route(ps []push, in *isa.Inst) []push {
 	case isa.ClassScalarLoad:
 		ps = append(ps, push{m.apIQ, exec})
 		if in.Dst.Kind == isa.RegS {
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovAStoS, in: *in}})
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovAStoS, in: in}})
 		}
 		return ps
 
@@ -134,31 +145,31 @@ func (m *machine) route(ps []push, in *isa.Inst) []push {
 		ps = append(ps, push{m.apIQ, exec})
 		if in.Dst.Kind == isa.RegS {
 			// The data travels SP -> SADQ -> store engine.
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSA, in: *in}})
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSA, in: in}})
 		}
 		return ps
 
 	case isa.ClassVectorLoad, isa.ClassGather:
 		return append(ps,
 			push{m.apIQ, exec},
-			push{m.vpIQ, uop{kind: uQMovAVtoV, in: *in}})
+			push{m.vpIQ, uop{kind: uQMovAVtoV, in: in}})
 
 	case isa.ClassVectorStore, isa.ClassScatter:
 		return append(ps,
-			push{m.vpIQ, uop{kind: uQMovVtoVA, in: *in}},
+			push{m.vpIQ, uop{kind: uQMovVtoVA, in: in}},
 			push{m.apIQ, exec})
 
 	case isa.ClassVectorALU:
 		ps = append(ps, push{m.vpIQ, exec})
 		if in.Src2.Kind == isa.RegS {
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSV, in: *in}})
+			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSV, in: in}})
 		}
 		return ps
 
 	case isa.ClassReduce:
 		return append(ps,
 			push{m.vpIQ, exec},
-			push{m.spIQ, uop{kind: uQMovVStoS, in: *in}})
+			push{m.spIQ, uop{kind: uQMovVStoS, in: in}})
 
 	default:
 		panic(fmt.Sprintf("dva: unroutable instruction %s", in))

@@ -23,11 +23,12 @@ type machine struct {
 	// Fetch processor.
 	stream     trace.Stream
 	streamDone bool
-	pending    isa.Inst
+	pending    *isa.Inst
 	hasPending bool
-	// pushScratch is reused by the dispatcher to avoid per-instruction
-	// allocation.
+	// pushScratch and needScratch are reused by the dispatcher to avoid
+	// per-instruction allocation.
 	pushScratch []push
+	needScratch []queueNeed
 
 	// Instruction queues.
 	apIQ, spIQ, vpIQ *queue.Q[uop]
@@ -46,6 +47,18 @@ type machine struct {
 	bypassBusyUntil int64
 	// psScratch is reused by pendingStores to avoid per-issue allocation.
 	psScratch []disamb.PendingStore
+	// disambSeq/disambVer/disambRes cache the last disambiguation verdict.
+	// Check is a pure function of the load and the visible store-queue
+	// entries, so the verdict holds while the load (disambSeq) and the store
+	// queues' operation counters (disambVer) are unchanged — a load stalled
+	// on the bus re-checks for free. disambOK additionally requires that the
+	// cached check saw every queued entry (none still in its visibility
+	// delay), since those become visible on a later cycle without any
+	// counter movement.
+	disambSeq int64
+	disambVer int64
+	disambRes disamb.Conflict
+	disambOK  bool
 
 	// Store engine (performs queued stores behind the AP's back).
 	storeActive   bool
@@ -77,6 +90,28 @@ type machine struct {
 	rec *sim.Recorder
 
 	lastProgress int64
+	// cycleStalls lists the stall reasons recorded during the current cycle,
+	// in emission order. On a cycle with no progress every later cycle up to
+	// the event horizon repeats them exactly, so the idle-skip fast path
+	// replays this list over the whole skipped span.
+	cycleStalls []sim.StallReason
+	// mutated marks a cycle that changed machine state without making
+	// progress (hazard-flush initiation). The cycle after such a mutation
+	// stalls differently, so it must not seed an idle skip.
+	mutated bool
+	// drainBusy caches the tail busy-horizon computed by finished() once the
+	// streams and queues have fully drained (nothing can make progress after
+	// that); -1 until then. Near-drain cycles then cost one comparison
+	// instead of rechecking all 14 queues and the register scoreboards.
+	drainBusy int64
+	// horizon2 is the second-smallest distinct future timestamp seen by the
+	// last horizon() scan, and horizon2OK marks it usable. An idle, unmutated
+	// cycle cannot change the machine's timestamp set, so when the machine
+	// wakes at the horizon and immediately idles again the next skip target
+	// is exactly this cached value — no rescan needed. Any progress or
+	// mutation invalidates it.
+	horizon2   int64
+	horizon2OK bool
 }
 
 // Run simulates the trace on the decoupled vector architecture under cfg
@@ -191,6 +226,7 @@ func newMachine(src trace.Source, cfg sim.Config) *machine {
 		afbq:         queue.New[int64]("AFBQ", sq),
 		sfbq:         queue.New[int64]("SFBQ", sq),
 		flushWaitSeq: -1,
+		drainBusy:    -1,
 		qmovBusy:     make([]int64, cfg.QMovUnits),
 		avdqHist:     sim.NewHistogram(cfg.AVDQSize),
 		vadqHist:     sim.NewHistogram(cfg.VADQSize),
@@ -208,7 +244,14 @@ func (m *machine) progress() { m.lastProgress = m.now }
 
 func (m *machine) run() error {
 	window := m.deadlockWindow()
+	fast := !m.cfg.SlowTick
+	// idleSteps counts progress-free loop iterations; with the idle-skip
+	// fast path active every such iteration spans at least one cycle, so the
+	// per-cycle deadlock window stays a valid (conservative) bound.
+	var idleSteps int64
 	for {
+		m.cycleStalls = m.cycleStalls[:0]
+		m.mutated = false
 		m.stepFetch()
 		// Loads normally have first claim on the address bus (they sit on
 		// the critical path; stores never stall the processor, §4.2). The
@@ -224,38 +267,201 @@ func (m *machine) run() error {
 		}
 		m.stepSP()
 		m.stepVP()
-		m.completeDrains()
+		if len(m.drains) > 0 {
+			m.completeDrains()
+		}
 		if m.finished() {
 			return nil
 		}
 		m.sample()
+		progressed := m.lastProgress == m.now
 		m.now++
-		if m.now-m.lastProgress > window {
+		if progressed || m.mutated {
+			// Any state change redraws the timestamp set; the cached
+			// runner-up horizon is stale.
+			m.horizon2OK = false
+		}
+		if progressed {
+			idleSteps = 0
+			continue
+		}
+		idleSteps++
+		if idleSteps >= window {
 			return fmt.Errorf("deadlock at cycle %d: %s", m.now, m.dumpState())
+		}
+		// Idle-skip fast path: the cycle just simulated made no progress and
+		// mutated nothing, so every unit repeats exactly the same decisions
+		// each cycle until the event horizon — jump there in one step,
+		// accounting the skipped span in bulk. SlowTick keeps the plain
+		// per-cycle loop as the reference mode the equivalence suite checks
+		// this path against. The second-idle-iteration gate keeps the
+		// horizon scan off the ubiquitous one-cycle gaps of dense code,
+		// where it could never pay for itself; the skipped-over cycle is
+		// accounted identically either way.
+		if fast && !m.mutated && idleSteps >= 2 {
+			var h int64
+			if m.horizon2OK && m.horizon2 >= m.now {
+				// The machine woke at the previous horizon and idled straight
+				// through: the timestamp set is unchanged, so the next target
+				// is the scan's cached runner-up — no rescan.
+				h = m.horizon2
+				m.horizon2OK = false
+			} else {
+				h = m.horizon()
+			}
+			if h > m.now {
+				m.skipTo(h)
+			}
 		}
 	}
 }
 
-// finished reports whether every stream, queue and unit has drained.
-func (m *machine) finished() bool {
-	if !m.streamDone || m.hasPending {
-		return false
-	}
-	for _, e := range [...]bool{
-		m.apIQ.Empty(), m.spIQ.Empty(), m.vpIQ.Empty(),
-		m.avdq.Empty(), m.vadq.Empty(),
-		m.asdq.Empty(), m.sadq.Empty(), m.svdq.Empty(), m.vsdq.Empty(), m.saaq.Empty(),
-		m.ssaq.Empty(), m.vsaq.Empty(),
-		m.afbq.Empty(), m.sfbq.Empty(),
-	} {
-		if !e {
-			return false
+// horizon returns the earliest cycle >= m.now at which any unit's decision
+// inputs can change: the minimum over every future timestamp stored in the
+// machine (FU/QMOV/bypass busy-until times, bus port releases, store-engine
+// and drain completions, register scoreboard ready times, chain-start points
+// and queue-entry data-arrival times). Every step function's choices are
+// predicates of the form "timestamp <= now" over this set, so on a cycle
+// with no progress and no mutation the machine's behaviour is constant on
+// [m.now, horizon). The set is deliberately a superset of what any single
+// decision needs — waking early is safe (the next iteration just skips
+// again), overshooting never happens. Returns MaxInt64 when nothing is in
+// flight (the caller's deadlock window then counts the machine out).
+func (m *machine) horizon() int64 {
+	now := m.now
+	const inf = int64(1)<<62 - 1
+	// h is the minimum future timestamp, h2 the second-smallest distinct one
+	// (cached for the wake-and-idle-again fast path; see horizon2). Keep
+	// both in locals; these comparisons are the hottest straight-line code
+	// of the fast path.
+	h, h2 := inf, inf
+	lower := func(t int64) {
+		if t < now || t == h {
+			return
+		}
+		if t < h {
+			h2 = h
+			h = t
+		} else if t < h2 {
+			h2 = t
 		}
 	}
-	if m.storeActive || len(m.drains) > 0 {
-		return false
+	lower(m.fu1Busy)
+	lower(m.fu2Busy)
+	for _, t := range m.qmovBusy {
+		lower(t)
 	}
-	// Let in-flight pipeline work retire.
+	lower(m.bypassBusyUntil)
+	lower(m.bus.FreeCycle())
+	if m.storeActive {
+		lower(m.storeDoneAt)
+	}
+	if len(m.drains) > 0 {
+		lower(m.drains[0].doneAt)
+	}
+	for _, t := range m.aReady {
+		lower(t)
+	}
+	for _, t := range m.sReady {
+		lower(t)
+	}
+	chain := m.cfg.ChainDelay
+	for i := range m.vRegs {
+		v := &m.vRegs[i]
+		lower(v.writeReady)
+		lower(v.readBusyUntil)
+		if v.chainable {
+			lower(v.writeStart + chain)
+		}
+	}
+	// Queue entries: only the slots a consumer can actually examine this
+	// cycle carry decision-relevant timestamps. The SP, VP and store engine
+	// peek at their queues' heads; the AP peeks at the first two SAAQ
+	// entries (its operand count bound); the VP's load QMOV peeks at the
+	// AVDQ entry just behind the in-flight drains. The bypass unit alone
+	// scans the VADQ for an arbitrary store's slot, so that (small) queue is
+	// walked in full. Deeper entries cannot influence any decision before a
+	// pop reshuffles the heads — and a pop is progress, which ends the
+	// skipped span anyway.
+	for _, q := range [...]*queue.Q[sslot]{m.asdq, m.sadq, m.svdq, m.vsdq} {
+		if s, ok := q.Peek(m.now); ok {
+			lower(s.readyAt)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		s, ok := m.saaq.PeekAt(m.now, i)
+		if !ok {
+			break
+		}
+		lower(s.readyAt)
+	}
+	if v, ok := m.avdq.PeekAt(m.now, len(m.drains)); ok {
+		lower(v.readyAt)
+	}
+	m.vadq.All(m.now, func(v *vslot) bool { lower(v.readyAt); return true })
+	for _, q := range [...]*queue.Q[storeAddr]{m.ssaq, m.vsaq} {
+		if st, ok := q.Head(m.now); ok && !st.needsData {
+			lower(st.dataReadyAt)
+		}
+	}
+	m.horizon2, m.horizon2OK = h2, h2 < inf
+	return h
+}
+
+// skipTo bulk-accounts the idle span [m.now, h) and jumps m.now to h. During
+// the span every cycle repeats the cycle just simulated: its stalls recur
+// verbatim (replayed from cycleStalls into the counters and, as one span
+// event, into the recorder), the (FU2, FU1, LD) state and the data-queue
+// occupancies are constant. The queues' own occupancy integrals need no
+// help: they accumulate lazily from timestamped push/pop deltas, so a time
+// jump composes exactly.
+func (m *machine) skipTo(h int64) {
+	n := h - m.now
+	for _, r := range m.cycleStalls {
+		m.stalls.Add(r, n)
+		m.rec.StallSpan(m.now, r, n)
+	}
+	fu2 := m.now < m.fu2Busy
+	fu1 := m.now < m.fu1Busy
+	ld := m.bus.BusyAt(m.now)
+	m.states.ObserveN(sim.MakeState(fu2, fu1, ld), n)
+	m.avdqHist.ObserveN(m.avdq.Len(), n)
+	m.vadqHist.ObserveN(m.vadq.Len(), n)
+	m.now = h
+}
+
+// finished reports whether every stream, queue and unit has drained. Once
+// the stream is exhausted and every queue is empty no step can ever make
+// progress again, so the in-flight tail busy-horizon is computed once and
+// cached in drainBusy; the remaining near-drain cycles then cost a single
+// comparison instead of rechecking 14 queues and the register scoreboards.
+func (m *machine) finished() bool {
+	if m.drainBusy < 0 {
+		if !m.streamDone || m.hasPending {
+			return false
+		}
+		for _, e := range [...]bool{
+			m.apIQ.Empty(), m.spIQ.Empty(), m.vpIQ.Empty(),
+			m.avdq.Empty(), m.vadq.Empty(),
+			m.asdq.Empty(), m.sadq.Empty(), m.svdq.Empty(), m.vsdq.Empty(), m.saaq.Empty(),
+			m.ssaq.Empty(), m.vsaq.Empty(),
+			m.afbq.Empty(), m.sfbq.Empty(),
+		} {
+			if !e {
+				return false
+			}
+		}
+		if m.storeActive || len(m.drains) > 0 {
+			return false
+		}
+		m.drainBusy = m.tailBusy()
+	}
+	return m.now >= m.drainBusy
+}
+
+// tailBusy returns the cycle by which all in-flight pipeline work has
+// retired; the drained machine runs until then.
+func (m *machine) tailBusy() int64 {
 	busy := max64(m.fu1Busy, m.fu2Busy)
 	for _, q := range m.qmovBusy {
 		busy = max64(busy, q)
@@ -271,7 +477,7 @@ func (m *machine) finished() bool {
 	for i := range m.vRegs {
 		busy = max64(busy, m.vRegs[i].writeReady)
 	}
-	return m.now >= busy
+	return busy
 }
 
 // sample records the per-cycle measurements: the (FU2, FU1, LD) state and
@@ -286,10 +492,15 @@ func (m *machine) sample() {
 }
 
 // stall accounts one cycle in which a unit could not make progress and,
-// when recording, emits the matching event.
+// when recording, emits the matching event. The reason is also noted in
+// cycleStalls so the idle-skip fast path can replay this cycle's stall
+// pattern over a skipped span.
 func (m *machine) stall(r sim.StallReason) {
 	m.stalls[r]++
-	m.rec.Stall(m.now, r)
+	m.cycleStalls = append(m.cycleStalls, r)
+	if m.rec != nil {
+		m.rec.Stall(m.now, r)
+	}
 }
 
 // storePressure reports whether either store address queue is at least

@@ -24,7 +24,7 @@ func (m *machine) stepSP() {
 			}
 		}()
 	}
-	in := &u.in
+	in := u.in
 	switch u.kind {
 	case uExec:
 		m.spExec(in)

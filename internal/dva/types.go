@@ -59,11 +59,13 @@ func (k uopKind) String() string {
 	return "uop?"
 }
 
-// uop is one instruction-queue entry: a kind plus a copy of the originating
-// trace instruction (copied because trace streams reuse their buffers).
+// uop is one instruction-queue entry: a kind plus the originating trace
+// instruction. Streams guarantee the pointer stays valid and the Inst
+// immutable for the whole pass, so queue entries stay two words instead of
+// dragging a full Inst copy through every ring.
 type uop struct {
 	kind uopKind
-	in   isa.Inst
+	in   *isa.Inst
 }
 
 // uopLabel names a uop for the event stream: the instruction class for
@@ -104,7 +106,7 @@ type storeAddr struct {
 	rng      disamb.Range
 	vl       int64 // 1 for scalar stores
 	isVector bool
-	inst     isa.Inst
+	inst     *isa.Inst
 	// needsData is true when the data arrives through a data queue (S or V
 	// register data). False for A-register scalar stores, whose data the AP
 	// provides itself; then dataReadyAt bounds when the value exists.

@@ -24,7 +24,7 @@ func (m *machine) stepVP() {
 			}
 		}()
 	}
-	in := &u.in
+	in := u.in
 	switch u.kind {
 	case uExec:
 		m.vpExec(in)

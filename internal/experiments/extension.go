@@ -81,6 +81,7 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 					cfg := ooo.DefaultConfig(l)
 					cfg.Window = w
 					cfg.PhysRegs = 4 * physFloor(w)
+					cfg.SlowTick = s.SlowTick
 					r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
 					if err != nil {
 						return err

@@ -48,6 +48,15 @@ type Suite struct {
 	// Scale is the trace scale factor (1.0 = default trace sizes).
 	Scale float64
 
+	// SlowTick forces every simulation the suite performs into the
+	// per-cycle reference mode (sim.Config.SlowTick), whatever the
+	// experiment requested. Results are identical either way — see
+	// DESIGN.md "Idle-skip advancement" — so this exists for
+	// `dvabench -slowtick` and for timing the two modes against each
+	// other. Set it before the first Run; flipping it on a warm suite
+	// would mix modes in the cache (harmlessly, but confusingly).
+	SlowTick bool
+
 	mu       sync.Mutex
 	cache    map[suiteKey]*sim.Result
 	inflight map[suiteKey]*flight
@@ -97,6 +106,9 @@ func (s *Suite) Simulations() int64 {
 // returning a cached result when the identical run has been done before.
 // Concurrent calls for the same key share a single simulation.
 func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	if s.SlowTick {
+		cfg.SlowTick = true
+	}
 	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
 	s.mu.Lock()
 	if r, ok := s.cache[key]; ok {

@@ -163,6 +163,49 @@ func (c *Cache) Invalidate(addr uint64) {
 	}
 }
 
+// InvalidateStrided invalidates every line touched by n accesses starting at
+// base and advancing step bytes each (a vector store's element sweep). The
+// final cache state is exactly that of n individual Invalidate calls —
+// invalidation is idempotent — but when the step is smaller than a line the
+// touched lines form one contiguous range (consecutive elements are never a
+// full line apart), so the sweep walks lines instead of elements: a
+// unit-stride store of 128 elements over 32-byte lines does 32 probes, not
+// 128.
+func (c *Cache) InvalidateStrided(base uint64, step int64, n int) {
+	if n <= 0 {
+		return
+	}
+	if step > 0 && uint64(step) < c.lineBytes {
+		first := base / c.lineBytes
+		last := (base + uint64(step)*uint64(n-1)) / c.lineBytes
+		if last-first+1 >= uint64(len(c.tags)) {
+			// The range covers every index at least once, so walking it
+			// would probe each entry repeatedly; sweep the (smaller) cache
+			// instead and drop entries whose resident line falls inside.
+			for idx := range c.tags {
+				if c.valid[idx] && c.tags[idx] >= first && c.tags[idx] <= last {
+					c.valid[idx] = false
+				}
+			}
+			return
+		}
+		for line := first; line <= last; line++ {
+			idx := line % uint64(len(c.tags))
+			if c.valid[idx] && c.tags[idx] == line {
+				c.valid[idx] = false
+			}
+		}
+		return
+	}
+	// Wide or non-positive steps: element lines are disjoint (or wrap), so
+	// per-element probing is already minimal.
+	addr := base
+	for i := 0; i < n; i++ {
+		c.Invalidate(addr)
+		addr += uint64(step)
+	}
+}
+
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
 	for i := range c.valid {

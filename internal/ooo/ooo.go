@@ -70,7 +70,7 @@ type value struct {
 
 // wentry is one window entry.
 type wentry struct {
-	in     isa.Inst
+	in     *isa.Inst
 	issued bool
 	// src values are snapshot at rename time (pointing at physical
 	// values), so later writers of the same architectural register can
@@ -81,6 +81,9 @@ type wentry struct {
 	dst *value
 	// rng is the memory range for memory ordering (memory classes only).
 	rng disamb.Range
+	// mem and load cache the instruction's class tests for the per-cycle
+	// memory-ordering scan.
+	mem, load bool
 	// phys is the physical register index held by dst (for release).
 	phys int
 }
@@ -93,7 +96,7 @@ type machine struct {
 
 	stream     trace.Stream
 	streamDone bool
-	pending    isa.Inst
+	pending    *isa.Inst
 	hasPending bool
 
 	window []*wentry
@@ -154,6 +157,11 @@ func Run(src trace.Source, cfg Config) (*sim.Result, error) {
 
 func (m *machine) run() error {
 	window := 64*(m.cfg.MemLatency+isa.MaxVL+m.cfg.DivDepth) + 4096
+	fast := !m.cfg.SlowTick
+	// idleSteps counts progress-free loop iterations; with the idle-skip
+	// fast path active every such iteration spans at least one cycle, so the
+	// per-cycle deadlock window stays a valid (conservative) bound.
+	var idleSteps int64
 	for {
 		m.fetch()
 		m.issueOne()
@@ -162,11 +170,71 @@ func (m *machine) run() error {
 			return nil
 		}
 		m.sample()
+		progressed := m.lastProgress == m.now
 		m.now++
-		if m.now-m.lastProgress > window {
+		if progressed {
+			idleSteps = 0
+			continue
+		}
+		idleSteps++
+		if idleSteps >= window {
 			return fmt.Errorf("deadlock at cycle %d (window %d entries)", m.now, len(m.window))
 		}
+		// Idle-skip fast path: a cycle with no fetch, issue or retirement
+		// leaves every decision input unchanged, so the machine repeats it
+		// verbatim until the event horizon — jump there, accounting the
+		// constant (FU2, FU1, LD) state in bulk. SlowTick keeps the plain
+		// per-cycle loop as the equivalence suite's reference mode. The
+		// second-idle-iteration gate keeps the horizon scan off one-cycle
+		// gaps, where it could never pay for itself.
+		if fast && idleSteps >= 2 {
+			if h := m.horizon(); h > m.now {
+				m.states.ObserveN(sim.MakeState(m.now < m.fu2Busy, m.now < m.fu1Busy, m.bus.BusyAt(m.now)), h-m.now)
+				m.now = h
+			}
+		}
 	}
+}
+
+// horizon returns the earliest cycle >= m.now at which any issue or
+// retirement decision input can change: the minimum over the functional-unit
+// busy times, the next bus-port release, the retirement bound maxDone, and
+// every in-flight value's completion (and chain-start) time. Values whose
+// producers have not issued carry no timestamp — they wake only through an
+// issue, which is progress, so they never constrain the horizon. The set is
+// a superset of what any one decision needs; waking early is safe, the next
+// iteration just skips again. Returns a huge sentinel when nothing is in
+// flight (the deadlock window then counts the machine out cycle by cycle).
+func (m *machine) horizon() int64 {
+	h := int64(1)<<62 - 1
+	lower := func(t int64) {
+		if t >= m.now && t < h {
+			h = t
+		}
+	}
+	lower(m.fu1Busy)
+	lower(m.fu2Busy)
+	lower(m.bus.FreeCycle())
+	lower(m.maxDone)
+	value := func(v *value) {
+		if v != nil && v.valid {
+			lower(v.ready)
+			if v.chainable {
+				lower(v.start + m.cfg.ChainDelay)
+			}
+		}
+	}
+	for _, e := range m.window {
+		// dst gates retirement; the source snapshots gate issue (they can
+		// outlive their producer's window entry, so scan them directly).
+		value(e.dst)
+		if !e.issued {
+			value(e.src1)
+			value(e.src2)
+			value(e.data)
+		}
+	}
+	return h
 }
 
 func (m *machine) progress() { m.lastProgress = m.now }
@@ -196,19 +264,19 @@ func (m *machine) fetch() {
 			m.streamDone = true
 			return
 		}
-		m.pending = *in
+		m.pending = in
 		m.hasPending = true
-		m.count(&m.pending)
+		m.count(m.pending)
 	}
 	if len(m.window) >= m.cfg.Window {
 		return
 	}
-	in := &m.pending
+	in := m.pending
 	needsPhys := !in.Class.IsStore() && in.Dst.Kind == isa.RegV
 	if needsPhys && m.freePhys == 0 {
 		return // no physical register: fetch stalls
 	}
-	e := &wentry{in: *in}
+	e := &wentry{in: in}
 	// Source snapshot (renaming: later redefinitions cannot disturb it).
 	e.src1 = m.lookup(in.Src1)
 	e.src2 = m.lookup(in.Src2)
@@ -217,6 +285,8 @@ func (m *machine) fetch() {
 	}
 	if in.Class.IsMemory() {
 		e.rng = disamb.RangeOf(in)
+		e.mem = true
+		e.load = in.Class.IsLoad()
 	}
 	// Destination rename.
 	if needsPhys {
@@ -269,14 +339,15 @@ func (m *machine) srcReady(v *value) bool {
 // issued.
 func (m *machine) memOrderOK(idx int) bool {
 	e := m.window[idx]
+	eLoad := e.load
 	for j := 0; j < idx; j++ {
 		o := m.window[j]
-		if o.issued || !o.in.Class.IsMemory() {
+		if o.issued || !o.mem {
 			continue
 		}
 		// Two loads may reorder freely; anything involving a store may not
 		// when the ranges overlap.
-		if e.in.Class.IsLoad() && o.in.Class.IsLoad() {
+		if eLoad && o.load {
 			continue
 		}
 		if e.rng.Overlaps(o.rng) {
@@ -302,7 +373,7 @@ func (m *machine) issueOne() {
 }
 
 func (m *machine) tryIssue(idx int, e *wentry) bool {
-	in := &e.in
+	in := e.in
 	if !m.srcReady(e.src1) || !m.srcReady(e.src2) || !m.srcReady(e.data) {
 		return false
 	}
@@ -396,11 +467,7 @@ func (m *machine) invalidateRange(in *isa.Inst) {
 	if in.Class == isa.ClassScatter {
 		return
 	}
-	addr := in.Base
-	for i := 0; i < in.VL; i++ {
-		m.cache.Invalidate(addr)
-		addr += uint64(in.Stride) * isa.ElemSize
-	}
+	m.cache.InvalidateStrided(in.Base, in.Stride*isa.ElemSize, in.VL)
 }
 
 // retire removes completed instructions from the head of the window,

@@ -104,9 +104,15 @@ func (q *Q[T]) Full() bool { return q.n >= len(q.ring) }
 func (q *Q[T]) Empty() bool { return q.n == 0 }
 
 // at returns a pointer to the i-th entry (0 = head) without bounds checks
-// beyond the ring arithmetic; callers validate i against q.n.
+// beyond the ring arithmetic; callers validate i against q.n. head and i are
+// both below the capacity, so one conditional subtraction replaces the
+// modulo — this sits on the simulators' innermost loop.
 func (q *Q[T]) at(i int) *entry[T] {
-	return &q.ring[(q.head+i)%len(q.ring)]
+	j := q.head + i
+	if j >= len(q.ring) {
+		j -= len(q.ring)
+	}
+	return &q.ring[j]
 }
 
 // Push appends v, visible from cycle now+1. It reports whether the push
@@ -164,6 +170,13 @@ func (q *Q[T]) VisibleLen(now int64) int {
 	return q.n
 }
 
+// AllVisible reports whether every queued entry is visible at cycle now.
+// Visibility is monotone in push order, so only the youngest entry needs
+// checking; an empty queue is trivially all-visible.
+func (q *Q[T]) AllVisible(now int64) bool {
+	return q.n == 0 || q.at(q.n-1).visible <= now
+}
+
 // Pop removes and returns the head entry. ok is false when the queue is
 // empty or the head is not yet visible at cycle now.
 func (q *Q[T]) Pop(now int64) (v T, ok bool) {
@@ -176,7 +189,9 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 	v = e.val
 	var zero T
 	e.val = zero // release references for the garbage collector
-	q.head = (q.head + 1) % len(q.ring)
+	if q.head++; q.head >= len(q.ring) {
+		q.head = 0
+	}
 	q.n--
 	q.pops++
 	if q.obs != nil {

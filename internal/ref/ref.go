@@ -99,12 +99,16 @@ func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued i
 			// The dispatch unit sat idle for wait cycles; attribute them to
 			// the binding hazard.
 			m.stalls.Add(why, wait)
-			m.rec.StallN(now, why, wait)
+			if m.rec != nil {
+				m.rec.StallN(now, why, wait)
+			}
 		}
 		if hook != nil {
 			hook(in, e)
 		}
-		m.rec.Issue(e, sim.ProcREF, in.Seq, in.Class.String())
+		if m.rec != nil {
+			m.rec.Issue(e, sim.ProcREF, in.Seq, in.Class.String())
+		}
 		m.accountStates(now, e)
 		m.issue(in, e)
 		// In-order single issue: the next instruction cannot issue in the
@@ -385,28 +389,42 @@ func (m *machine) invalidateRange(in *isa.Inst) {
 		// workloads never scatter onto scalar-cached addresses.
 		return
 	}
-	addr := in.Base
-	for i := 0; i < in.VL; i++ {
-		m.cache.Invalidate(addr)
-		addr += uint64(in.Stride) * isa.ElemSize
-	}
+	m.cache.InvalidateStrided(in.Base, in.Stride*isa.ElemSize, in.VL)
 }
 
 // accountStates attributes every cycle of [from, to) to its (FU2, FU1, LD)
 // state. Unit occupancy cannot change inside the window (no issues happen
 // there), so the window is split only at the units' busy-until boundaries.
+// With SlowTick set it instead observes every cycle individually — the
+// reference mode the equivalence suite checks the windowed accounting
+// against (see DESIGN.md "Idle-skip advancement").
 func (m *machine) accountStates(from, to int64) {
+	if m.cfg.SlowTick {
+		for c := from; c < to; c++ {
+			m.states.Observe(sim.MakeState(c < m.fu2Busy, c < m.fu1Busy, m.bus.BusyAt(c)))
+		}
+		return
+	}
+	if from >= to {
+		return
+	}
+	busFree := m.bus.FreeCycle()
+	if from+1 == to {
+		// Single-cycle window (every issue cycle): no boundary scan needed.
+		m.states.ObserveN(sim.MakeState(from < m.fu2Busy, from < m.fu1Busy, from < busFree), 1)
+		return
+	}
 	for c := from; c < to; {
 		fu2 := c < m.fu2Busy
 		fu1 := c < m.fu1Busy
-		ld := m.bus.BusyAt(c)
+		ld := c < busFree
 		next := to
-		for _, b := range [...]int64{m.fu2Busy, m.fu1Busy, m.bus.FreeCycle()} {
+		for _, b := range [...]int64{m.fu2Busy, m.fu1Busy, busFree} {
 			if b > c && b < next {
 				next = b
 			}
 		}
-		m.states.Cycles[sim.MakeState(fu2, fu1, ld)] += next - c
+		m.states.ObserveN(sim.MakeState(fu2, fu1, ld), next-c)
 		c = next
 	}
 }

@@ -66,6 +66,13 @@ type Config struct {
 	// [0, LatencyJitter] cycles to loads, modeling memory-module and
 	// interconnect conflicts in a multiprocessor (see AccessLatency).
 	LatencyJitter int64
+
+	// SlowTick disables the idle-skip (event-horizon) fast path and forces
+	// the simulators to advance one cycle at a time. Results are bit-identical
+	// in both modes — SlowTick exists as the reference mode the equivalence
+	// suite checks the fast path against (see DESIGN.md "Idle-skip
+	// advancement"); it costs wall-clock time, never accuracy.
+	SlowTick bool
 }
 
 // DefaultConfig returns the configuration used for the paper's main DVA

@@ -385,6 +385,34 @@ func (r *Recorder) Stall(cycle int64, reason StallReason) {
 	r.lastStall[reason] = len(r.events)
 }
 
+// StallSpan records n consecutive stalled cycles starting at cycle as a
+// single span, coalescing with the reason's most recent stall event when the
+// span is contiguous with it. It is the bulk emitter of the idle-skip fast
+// path: a skipped idle window repeats the stall pattern of its first cycle,
+// and StallSpan extends the already-recorded events so the stream stays
+// bit-identical to the per-cycle (SlowTick) mode, which coalesces the same
+// cycles one at a time. The only divergence is the Dropped counter of a
+// bounded recorder, which counts one discarded span instead of n discarded
+// cycles.
+func (r *Recorder) StallSpan(cycle int64, reason StallReason, n int64) {
+	if r == nil || n <= 0 {
+		return
+	}
+	if i := r.lastStall[reason]; i > 0 {
+		e := &r.events[i-1]
+		if e.Cycle+e.N == cycle {
+			e.N += n
+			return
+		}
+	}
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.Dropped++
+		return
+	}
+	r.events = append(r.events, Event{Cycle: cycle, Kind: EvStall, Proc: reason.Proc(), Reason: reason, N: n})
+	r.lastStall[reason] = len(r.events)
+}
+
 // StallN records n consecutive stalled cycles starting at cycle (used by the
 // reference simulator, which computes waits in closed form).
 func (r *Recorder) StallN(cycle int64, reason StallReason, n int64) {

@@ -55,6 +55,17 @@ type StateStats struct {
 // Observe adds one cycle in the given state.
 func (st *StateStats) Observe(s State) { st.Cycles[s]++ }
 
+// ObserveN adds n cycles in the given state — the bulk form of Observe used
+// by the idle-skip fast path, which accounts a whole skipped span at once.
+// ObserveN(s, n) is exactly equivalent to n repeated Observe(s) calls; n <= 0
+// is a no-op.
+func (st *StateStats) ObserveN(s State, n int64) {
+	if n <= 0 {
+		return
+	}
+	st.Cycles[s] += n
+}
+
 // Total returns the total number of observed cycles.
 func (st *StateStats) Total() int64 {
 	var t int64
@@ -135,6 +146,24 @@ func (h *Histogram) Observe(v int) {
 		v = len(h.Buckets) - 1
 	}
 	h.Buckets[v]++
+}
+
+// ObserveN adds n observations of value v — the bulk form of Observe used by
+// the idle-skip fast path (a skipped span repeats one occupancy for its whole
+// length). ObserveN(v, n) is exactly equivalent to n repeated Observe(v)
+// calls; n <= 0 is a no-op, v < 0 panics.
+func (h *Histogram) ObserveN(v int, n int64) {
+	if v < 0 {
+		panic("sim: negative histogram observation")
+	}
+	if n <= 0 {
+		return
+	}
+	if v >= len(h.Buckets) {
+		h.Clamped += n
+		v = len(h.Buckets) - 1
+	}
+	h.Buckets[v] += n
 }
 
 // Total returns the number of observations.

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStateStatsObserveNEquivalence checks the bulk form's contract: for any
+// weight n >= 1, ObserveN(s, n) leaves the counters exactly as n repeated
+// Observe(s) calls would. The idle-skip fast path leans on this to account a
+// skipped span in one call.
+func TestStateStatsObserveNEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var bulk, unit StateStats
+	for i := 0; i < 200; i++ {
+		s := State(rng.Intn(int(NumStates)))
+		n := int64(1 + rng.Intn(50))
+		bulk.ObserveN(s, n)
+		for k := int64(0); k < n; k++ {
+			unit.Observe(s)
+		}
+	}
+	if bulk != unit {
+		t.Fatalf("bulk %v != unit %v", bulk.Cycles, unit.Cycles)
+	}
+}
+
+// TestStateStatsObserveNZeroWeight checks that non-positive weights are
+// no-ops rather than corrupting (or panicking on) the counters.
+func TestStateStatsObserveNZeroWeight(t *testing.T) {
+	var st StateStats
+	st.ObserveN(StateFU2, 0)
+	st.ObserveN(StateFU1, -7)
+	if got := st.Total(); got != 0 {
+		t.Fatalf("non-positive weights observed %d cycles, want 0", got)
+	}
+}
+
+// TestHistogramObserveNEquivalence checks bulk/unit equivalence for the
+// occupancy histograms, including the clamping path for out-of-range values
+// (whose Clamped counter must also scale with the weight).
+func TestHistogramObserveNEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const max = 8
+	bulk, unit := NewHistogram(max), NewHistogram(max)
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(max + 3) // deliberately overshoots to hit clamping
+		n := int64(1 + rng.Intn(50))
+		bulk.ObserveN(v, n)
+		for k := int64(0); k < n; k++ {
+			unit.Observe(v)
+		}
+	}
+	if bulk.Clamped != unit.Clamped {
+		t.Fatalf("bulk clamped %d != unit clamped %d", bulk.Clamped, unit.Clamped)
+	}
+	for i := range bulk.Buckets {
+		if bulk.Buckets[i] != unit.Buckets[i] {
+			t.Fatalf("bucket %d: bulk %d != unit %d", i, bulk.Buckets[i], unit.Buckets[i])
+		}
+	}
+}
+
+// TestHistogramObserveNZeroWeight checks the no-op contract for non-positive
+// weights, and that negative values still panic exactly like Observe.
+func TestHistogramObserveNZeroWeight(t *testing.T) {
+	h := NewHistogram(4)
+	h.ObserveN(2, 0)
+	h.ObserveN(3, -1)
+	if got := h.Total(); got != 0 {
+		t.Fatalf("non-positive weights observed %d values, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ObserveN(-1, 1) did not panic")
+		}
+	}()
+	h.ObserveN(-1, 1)
+}
+
+// TestHistogramObserveNOccupancyIntegral checks the property the idle-skip
+// accounting depends on: compressing a per-cycle occupancy trajectory into
+// constant-occupancy spans and observing each span with its length yields the
+// same histogram as sampling every cycle, and the histogram's total equals
+// the trajectory's length (the occupancy integral's time base).
+func TestHistogramObserveNOccupancyIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const max = 6
+	spans, unit := NewHistogram(max), NewHistogram(max)
+	var elapsed int64
+	for i := 0; i < 100; i++ {
+		occ := rng.Intn(max + 1)
+		dt := int64(1 + rng.Intn(40))
+		spans.ObserveN(occ, dt)
+		for k := int64(0); k < dt; k++ {
+			unit.Observe(occ)
+		}
+		elapsed += dt
+	}
+	if got := spans.Total(); got != elapsed {
+		t.Fatalf("span histogram covers %d cycles, trajectory lasted %d", got, elapsed)
+	}
+	for i := range spans.Buckets {
+		if spans.Buckets[i] != unit.Buckets[i] {
+			t.Fatalf("bucket %d: spans %d != unit %d", i, spans.Buckets[i], unit.Buckets[i])
+		}
+	}
+}

@@ -12,7 +12,9 @@ import (
 
 // Stream produces instructions in dynamic program order. Next returns the
 // next instruction, or ok=false at the end of the trace. The returned
-// pointer is only valid until the following Next call.
+// pointer stays valid — and the instruction immutable — for the lifetime of
+// the pass, so simulators may hold it in their in-flight structures instead
+// of copying the Inst through every queue.
 type Stream interface {
 	Next() (in *isa.Inst, ok bool)
 }
