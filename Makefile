@@ -3,10 +3,16 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench profile verify
+.PHONY: build test vet lint race bench profile verify generate
 
 build:
 	$(GO) build ./...
+
+# generate regenerates internal/sim/fingerprint_gen.go, the hash of every
+# simulator-model source file that versions the persistent result cache.
+# Run after any model edit; `make verify` fails if it is stale.
+generate:
+	$(GO) run ./cmd/modelhash
 
 test:
 	$(GO) test ./...
@@ -25,13 +31,15 @@ race:
 
 # bench runs every benchmark once (with the dvabench PGO profile, matching how
 # the CLI itself is built) and folds the results against the checked-in pre-PR
-# baseline into BENCH_PR3.json — ns/op, B/op, allocs/op, sims/op, and the
+# baseline into BENCH_PR5.json — ns/op, B/op, allocs/op, sims/op, and the
 # figure-benchmark geomean speedup. See EXPERIMENTS.md "Reproducing".
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' \
 		-pgo=cmd/dvabench/default.pgo . | tee bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr3.txt \
-		-current bench_current.txt -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr5.txt \
+		-current bench_current.txt -out BENCH_PR5.json \
+		-desc "persistent content-addressed result cache (PR 5)" \
+		-notes "cold/warm cache benchmarks added in PR 5; suite benchmarks now include extension-ooo runs routed through the shared cache"
 
 # profile produces pprof CPU and heap profiles of a full dvabench run.
 # Inspect with: go tool pprof dvabench.bin cpu.pprof
@@ -43,5 +51,6 @@ profile:
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/modelhash -check
 	$(GO) run ./cmd/declint ./...
 	$(GO) test -race ./...

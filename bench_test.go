@@ -134,6 +134,65 @@ func BenchmarkAblationQMov(b *testing.B) { benchExperiment(b, "ablation-qmov") }
 // BenchmarkExtensionPorts regenerates the second-memory-port comparison.
 func BenchmarkExtensionPorts(b *testing.B) { benchExperiment(b, "extension-ports") }
 
+// BenchmarkFigure3CacheCold measures one Figure 3 regeneration into a fresh
+// persistent result cache: full simulation cost plus the encode/checksum/
+// write overhead of populating the store.
+func BenchmarkFigure3CacheCold(b *testing.B) {
+	var sims int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store, err := decvec.OpenCache(b.TempDir(), decvec.CacheOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		s := decvec.NewSuite(benchScale)
+		s.Disk = store
+		if _, err := decvec.RunExperimentWithSuite(s, "fig3"); err != nil {
+			b.Fatal(err)
+		}
+		sims += s.Simulations()
+	}
+	b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+}
+
+// BenchmarkFigure3CacheWarm measures the same regeneration served entirely
+// from a warm store — no simulator invocations (sims/op must report 0); the
+// remaining cost is hashing, decoding and report rendering. The ratio
+// against BenchmarkFigure3CacheCold is the cache's headline speedup.
+func BenchmarkFigure3CacheWarm(b *testing.B) {
+	dir := b.TempDir()
+	warm := func() (*decvec.Suite, error) {
+		store, err := decvec.OpenCache(dir, decvec.CacheOptions{})
+		if err != nil {
+			return nil, err
+		}
+		s := decvec.NewSuite(benchScale)
+		s.Disk = store
+		return s, nil
+	}
+	s, err := warm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := decvec.RunExperimentWithSuite(s, "fig3"); err != nil {
+		b.Fatal(err)
+	}
+	var sims int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := warm()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decvec.RunExperimentWithSuite(s, "fig3"); err != nil {
+			b.Fatal(err)
+		}
+		sims += s.Simulations()
+	}
+	b.ReportMetric(float64(sims)/float64(b.N), "sims/op")
+}
+
 // BenchmarkDVA_ARC2D_Recorded is BenchmarkDVA_ARC2D with an event recorder
 // attached; the delta against the plain benchmark is the cost of recording,
 // and the plain benchmark itself guards the disabled-recorder hot path.

@@ -1,0 +1,107 @@
+package decvec_test
+
+import (
+	"testing"
+
+	"decvec"
+)
+
+// cacheSuite returns a fresh suite backed by a store at dir, as dvabench
+// builds one.
+func cacheSuite(t *testing.T, dir string) *decvec.Suite {
+	t.Helper()
+	store, err := decvec.OpenCache(dir, decvec.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := decvec.NewSuite(benchScale)
+	s.Disk = store
+	return s
+}
+
+// TestCacheEndToEnd is the PR's acceptance property at the facade level: a
+// warm cache serves a repeat experiment run with zero simulator invocations
+// and byte-identical reports, and a full verification pass agrees with the
+// store.
+func TestCacheEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates several experiment grids")
+	}
+	dir := t.TempDir()
+	exps := []string{"table1", "fig3", "fig8", "ablation-qmov"}
+
+	cold := cacheSuite(t, dir)
+	want := make(map[string]string)
+	for _, name := range exps {
+		out, err := decvec.RunExperimentWithSuite(cold, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = out
+	}
+	if cold.Simulations() == 0 {
+		t.Fatal("cold run performed no simulations")
+	}
+
+	warm := cacheSuite(t, dir)
+	for _, name := range exps {
+		out, err := decvec.RunExperimentWithSuite(warm, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != want[name] {
+			t.Errorf("%s: warm report differs from cold", name)
+		}
+	}
+	if got := warm.Simulations(); got != 0 {
+		t.Errorf("warm run performed %d simulations, want 0", got)
+	}
+
+	audit := cacheSuite(t, dir)
+	audit.VerifyFraction = 1.0
+	for _, name := range exps {
+		if _, err := decvec.RunExperimentWithSuite(audit, name); err != nil {
+			t.Fatalf("%s: full cache verification failed: %v", name, err)
+		}
+	}
+	if st := audit.CacheStats(); st.Verified == 0 {
+		t.Error("full verification audited no hits")
+	}
+}
+
+// TestRunSourceCached pins the dvasim-facing cache path, including the
+// BYP → DVA+Bypass key canonicalization.
+func TestRunSourceCached(t *testing.T) {
+	dir := t.TempDir()
+	store, err := decvec.OpenCache(dir, decvec.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := decvec.LoadWorkload("DYFESM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := w.Trace(benchScale)
+	cfg := decvec.DefaultConfig(30)
+
+	cold, err := decvec.RunSourceCached(store, src, "BYP", cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Writes != 1 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	// The equivalent DVA+Bypass spelling hits the same entry.
+	bypCfg := cfg
+	bypCfg.Bypass = true
+	warm, err := decvec.RunSourceCached(store, src, "DVA", bypCfg, 1.0)
+	if err != nil {
+		t.Fatalf("verified warm run failed: %v", err)
+	}
+	if warm.Cycles != cold.Cycles {
+		t.Errorf("warm cycles %d != cold cycles %d", warm.Cycles, cold.Cycles)
+	}
+	if st := store.Stats(); st.Hits != 1 || st.Verified != 1 {
+		t.Errorf("warm stats = %+v, want 1 hit / 1 verified", st)
+	}
+}

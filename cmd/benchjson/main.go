@@ -1,6 +1,6 @@
 // Command benchjson turns a pair of `go test -bench` outputs — a checked-in
 // baseline and a fresh run — into a single JSON trajectory file. The repo
-// tracks the result (BENCH_PR3.json) so performance claims in the PR are
+// tracks the result (BENCH_PR<n>.json) so performance claims in each PR are
 // reproducible numbers, not prose: each benchmark carries its baseline and
 // current ns/op, B/op, allocs/op and any custom metrics (sims/op,
 // simcycles/s), a baseline/current speedup, and the file closes with the
@@ -9,8 +9,8 @@
 // Usage:
 //
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . > current.txt
-//	go run ./cmd/benchjson -baseline bench/baseline_pr3.txt \
-//	    -current current.txt -out BENCH_PR3.json
+//	go run ./cmd/benchjson -baseline bench/baseline_pr5.txt \
+//	    -current current.txt -out BENCH_PR5.json -desc "..." -notes "..."
 package main
 
 import (
@@ -87,9 +87,12 @@ type report struct {
 }
 
 func main() {
-	baseline := flag.String("baseline", "bench/baseline_pr3.txt", "checked-in baseline bench output")
+	baseline := flag.String("baseline", "bench/baseline_pr5.txt", "checked-in baseline bench output")
 	current := flag.String("current", "", "fresh bench output (required)")
-	out := flag.String("out", "BENCH_PR3.json", "JSON report path")
+	out := flag.String("out", "BENCH_PR5.json", "JSON report path")
+	desc := flag.String("desc", "pre-PR baseline vs current; speedup = baseline ns/op / current ns/op",
+		"one-line description of what the trajectory compares")
+	notes := flag.String("notes", "", "free-form notes embedded in the report")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
@@ -106,12 +109,10 @@ func main() {
 	}
 
 	rep := report{
-		Description: "Benchmark trajectory for the idle-skip PR: pre-PR baseline vs current, speedup = baseline ns/op / current ns/op.",
+		Description: *desc,
 		Baseline:    *baseline,
 		Benchmarks:  make(map[string]entry),
-		Notes: "End-to-end `go run ./cmd/dvabench` wall clock improved ~3.1x (7.4s -> 2.4s); " +
-			"the per-figure geomean is lower because each figure benchmark re-generates its " +
-			"traces inside the measured loop, and trace generation is untouched by idle-skip.",
+		Notes:       *notes,
 	}
 	names := make(map[string]bool)
 	for n := range base {

@@ -15,6 +15,14 @@
 // -slowtick disables the idle-skip fast path and simulates every cycle
 // (DESIGN.md "Idle-skip advancement"). The output is byte-identical in
 // both modes; only the wall clock differs.
+//
+// Simulation results persist in a content-addressed cache (default
+// $XDG_CACHE_HOME/decvec; see DESIGN.md "Result cache"), so repeat
+// invocations skip simulation entirely. -cache=off disables it, -cache-dir
+// relocates it, -cache-max-mb bounds it, and -cache-verify re-simulates a
+// fraction of cache hits and fails loudly on any divergence. Keys include a
+// fingerprint of the simulator sources, so editing any model forces a cold
+// run.
 package main
 
 import (
@@ -39,6 +47,11 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 		slowTick   = flag.Bool("slowtick", false, "disable the idle-skip fast path and simulate every cycle (same output, ~3x slower)")
+
+		cacheMode   = flag.String("cache", "on", "persistent result cache: on or off")
+		cacheDir    = flag.String("cache-dir", "", "result cache directory (default $XDG_CACHE_HOME/decvec)")
+		cacheMaxMB  = flag.Int64("cache-max-mb", 512, "result cache size cap in MiB, enforced after the run (0 = unbounded)")
+		cacheVerify = flag.Float64("cache-verify", 0, "re-simulate this fraction of cache hits and fail on any mismatch (1 audits every hit)")
 	)
 	flag.Parse()
 
@@ -70,6 +83,27 @@ func main() {
 	}
 	suite := decvec.NewSuite(*scale)
 	suite.SlowTick = *slowTick
+	suite.VerifyFraction = *cacheVerify
+	if *cacheMode != "off" {
+		dir := *cacheDir
+		if dir == "" {
+			dir = decvec.DefaultCacheDir()
+		}
+		if dir == "" {
+			fmt.Fprintln(os.Stderr, "dvabench: no cache directory available; running uncached (set -cache-dir)")
+		} else {
+			maxBytes := *cacheMaxMB << 20
+			if *cacheMaxMB == 0 {
+				maxBytes = -1 // unbounded
+			}
+			store, err := decvec.OpenCache(dir, decvec.CacheOptions{MaxBytes: maxBytes})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvabench: %v; running uncached\n", err)
+			} else {
+				suite.Disk = store
+			}
+		}
+	}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -91,6 +125,16 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	if suite.Disk != nil {
+		if _, err := suite.Disk.GC(); err != nil {
+			fmt.Fprintf(os.Stderr, "dvabench: cache GC: %v\n", err)
+		}
+		if !*quiet {
+			fmt.Printf("%s(simulations run: %d, cache %s)\n\n",
+				decvec.CacheTable(suite.CacheStats()), suite.Simulations(), suite.Disk.Dir())
 		}
 	}
 

@@ -11,6 +11,11 @@
 //	dvasim -prog BDNA -metrics-json metrics.json   # machine-readable summary
 //	dvasim -prog BDNA -metrics-json -              # ... on stdout (quiet)
 //	dvasim -prog BDNA -events trace.json           # chrome://tracing event file
+//
+// Results persist in the content-addressed cache shared with dvabench
+// (default $XDG_CACHE_HOME/decvec; -cache=off disables, -cache-dir
+// relocates, -cache-verify audits hits by re-simulation). Event-recording
+// runs always simulate, since the event stream is not cached.
 package main
 
 import (
@@ -35,6 +40,10 @@ func main() {
 		eventsOut = flag.String("events", "", "write a chrome://tracing event trace to this file ('-' for stdout)")
 		jsonOut   = flag.String("metrics-json", "", "write the metrics summary as JSON to this file ('-' for stdout)")
 		maxEvents = flag.Int("max-events", 0, "cap the recorded event stream (0 = unlimited)")
+
+		cacheMode   = flag.String("cache", "on", "persistent result cache: on or off (event recording always simulates)")
+		cacheDir    = flag.String("cache-dir", "", "result cache directory (default $XDG_CACHE_HOME/decvec)")
+		cacheVerify = flag.Float64("cache-verify", 0, "re-simulate this fraction of cache hits and fail on any mismatch")
 	)
 	flag.Parse()
 
@@ -56,7 +65,7 @@ func main() {
 		rec.MaxEvents = *maxEvents
 	}
 
-	var res *decvec.Result
+	var src decvec.TraceSource
 	var name, desc string
 	var idealCycles int64
 	if *infile != "" {
@@ -64,16 +73,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		src, err := decvec.ReadTrace(f)
+		src, err = decvec.ReadTrace(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
 		name, desc = src.Name(), "trace file "+*infile
-		res, err = decvec.RunSourceRecorded(src, archName, cfg, rec)
-		if err != nil {
-			fatal(err)
-		}
 		idealCycles = decvec.IdealCyclesOf(src)
 	} else {
 		w, err := decvec.LoadWorkload(*prog)
@@ -82,14 +87,43 @@ func main() {
 		}
 		name, desc = w.Name(), w.Description()
 		idealCycles = w.IdealCycles()
-		res, err = w.RunRecorded(archName, cfg, rec)
-		if err != nil {
-			fatal(err)
+		src = w.Trace(1)
+	}
+
+	// Event recording observes the simulation, so a recorded run never comes
+	// from the cache.
+	var store *decvec.CacheStore
+	if *cacheMode != "off" && rec == nil {
+		dir := *cacheDir
+		if dir == "" {
+			dir = decvec.DefaultCacheDir()
 		}
+		if dir != "" {
+			var err error
+			if store, err = decvec.OpenCache(dir, decvec.CacheOptions{}); err != nil {
+				fmt.Fprintf(os.Stderr, "dvasim: %v; running uncached\n", err)
+				store = nil
+			}
+		}
+	}
+	var res *decvec.Result
+	var err error
+	if store != nil {
+		res, err = decvec.RunSourceCached(store, src, archName, cfg, *cacheVerify)
+	} else {
+		res, err = decvec.RunSourceRecorded(src, archName, cfg, rec)
+	}
+	if err != nil {
+		fatal(err)
 	}
 
 	if *jsonOut != "" {
-		b, err := decvec.MetricsJSON(res)
+		var b []byte
+		if store != nil {
+			b, err = decvec.MetricsJSONWithCache(res, store.Stats())
+		} else {
+			b, err = decvec.MetricsJSON(res)
+		}
 		if err != nil {
 			fatal(err)
 		}

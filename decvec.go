@@ -17,9 +17,11 @@
 package decvec
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"decvec/internal/dva"
 	"decvec/internal/experiments"
@@ -28,6 +30,7 @@ import (
 	"decvec/internal/ref"
 	"decvec/internal/report"
 	"decvec/internal/sim"
+	"decvec/internal/simcache"
 	"decvec/internal/trace"
 	"decvec/internal/workload"
 )
@@ -84,6 +87,10 @@ func DefaultConfig(latency int64) Config { return sim.DefaultConfig(latency) }
 func BypassConfig(latency int64, loadQ, storeQ int) Config {
 	return sim.BypassConfig(latency, loadQ, storeQ)
 }
+
+// TraceSource is a replayable stream of trace instructions, as produced by
+// Workload.Trace, ReadTrace or the tracegen kernels.
+type TraceSource = trace.Source
 
 // Workload is one benchmark program model.
 type Workload struct {
@@ -222,6 +229,92 @@ func RunSourceRecorded(src trace.Source, arch string, cfg Config, rec *Recorder)
 // MetricsJSON renders a result — cycle counts, state breakdown, stall
 // attribution and queue occupancy — as indented machine-readable JSON.
 func MetricsJSON(res *Result) ([]byte, error) { return report.MetricsJSON(res) }
+
+// MetricsJSONWithCache is MetricsJSON with the persistent result-cache
+// counters attached (the `dvasim -cache -metrics-json` schema).
+func MetricsJSONWithCache(res *Result, st CacheStats) ([]byte, error) {
+	return report.MetricsJSONWithCache(res, st)
+}
+
+// CacheStore is the persistent, content-addressed store for simulation
+// results (see internal/simcache). Attach one to Suite.Disk, or pass it to
+// RunSourceCached, to make repeat runs skip simulation entirely.
+type CacheStore = simcache.Store
+
+// CacheOptions configures OpenCache.
+type CacheOptions = simcache.Options
+
+// CacheStats are a store's lifetime counters.
+type CacheStats = simcache.Stats
+
+// ModelFingerprint identifies the simulator model sources this build was
+// compiled from (generated by `make generate`); it is part of every cache
+// key, so results cached by a different model can never be served.
+const ModelFingerprint = sim.ModelFingerprint
+
+// OpenCache creates (if needed) and opens the persistent result cache
+// rooted at dir.
+func OpenCache(dir string, opts CacheOptions) (*CacheStore, error) {
+	return simcache.Open(dir, opts)
+}
+
+// DefaultCacheDir returns the conventional cache location
+// ($XDG_CACHE_HOME/decvec), or "" when the environment defines none.
+func DefaultCacheDir() string { return simcache.DefaultDir() }
+
+// CacheTable renders a store's counters as an ASCII table.
+func CacheTable(st CacheStats) string { return report.CacheTable(st) }
+
+// RunSourceCached is RunSource through a persistent result cache: disk hits
+// skip simulation, misses simulate and persist. verify re-simulates that
+// fraction of hits (deterministically sampled per key) and returns a hard
+// error if the stored bytes differ from the fresh encoding. A nil store
+// simulates uncached.
+func RunSourceCached(store *CacheStore, src trace.Source, arch string, cfg Config, verify float64) (*Result, error) {
+	simulate := func() (*Result, error) { return RunSource(src, arch, cfg) }
+	if store == nil {
+		return simulate()
+	}
+	// BYP is DVA with the bypass bit set: canonicalize so a -arch BYP run
+	// shares its entry with the equivalent DVA+Bypass run (and with the
+	// entries dvabench writes).
+	keyArch := strings.ToUpper(arch)
+	keyCfg := cfg
+	if keyArch == "BYP" {
+		keyArch = "DVA"
+		keyCfg.Bypass = true
+	}
+	th, err := simcache.TraceHash(src)
+	if err != nil {
+		return simulate()
+	}
+	key := store.Key(th, keyArch, keyCfg, "")
+	if r, payload, ok := store.GetBytes(key); ok {
+		if simcache.VerifySample(key, verify) {
+			store.CountVerified()
+			fresh, err := simulate()
+			if err != nil {
+				return nil, err
+			}
+			freshBytes, err := simcache.EncodeResultBytes(fresh)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(freshBytes, payload) {
+				return nil, fmt.Errorf("decvec: cache verification FAILED for %s %s on %s: stored result differs from re-simulation (key %s…); the store at %s holds results no current model produces — remove it and re-run", keyArch, cfg.String(), src.Name(), key[:16], store.Dir())
+			}
+		}
+		return r, nil
+	}
+	r, err := simulate()
+	if err != nil {
+		return nil, err
+	}
+	// Persistence is best-effort: a read-only or full store must not fail a
+	// simulation that already succeeded.
+	_ = store.Put(key, r)
+	return r, nil
+}
 
 // WriteTraceEvents writes a recorded event stream as a Trace Event Format
 // JSON file loadable in chrome://tracing or Perfetto.

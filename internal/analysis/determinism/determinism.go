@@ -10,7 +10,11 @@
 //   - the globally-seeded math/rand functions (rand.Intn, rand.Int63, ...;
 //     an explicitly seeded rand.New(rand.NewSource(seed)) is fine),
 //   - spawning goroutines (scheduling order is nondeterministic, and the
-//     per-cycle tick/issue paths must stay single-threaded).
+//     per-cycle tick/issue paths must stay single-threaded),
+//   - importing the persistent result cache (internal/simcache): the cache
+//     serializes model results, so a model depending on it would invert the
+//     layering — and cached state leaking into a simulation would break
+//     reproducibility in ways no local check could see.
 //
 // Concurrency and randomness belong in the packages above the models
 // (experiments, tracegen), which seed and order their work explicitly.
@@ -19,6 +23,7 @@ package determinism
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 
 	"decvec/internal/analysis"
 )
@@ -61,6 +66,7 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
+		checkImports(pass, file)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.RangeStmt:
@@ -74,6 +80,22 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkImports flags model packages that import the persistent result cache.
+// The cache depends on the models (it serializes their results); the reverse
+// dependency would be a layering inversion, and any cached state feeding back
+// into a simulation would silently break bit-reproducibility.
+func checkImports(pass *analysis.Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if analysis.PathBase(path) == "simcache" {
+			pass.Reportf(imp.Pos(), "model package %s imports %s: the result cache depends on the models, never the reverse", pass.Pkg.Name(), path)
+		}
+	}
 }
 
 func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {

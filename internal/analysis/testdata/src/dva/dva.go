@@ -5,6 +5,8 @@ package dva
 import (
 	"math/rand"
 	"time"
+
+	"simcache" // want "model package dva imports simcache: the result cache depends on the models, never the reverse"
 )
 
 type state struct {
@@ -28,7 +30,7 @@ func sortedIteration(s *state, keys []int) int64 {
 }
 
 func wallClock() time.Duration {
-	start := time.Now() // want "time.Now in model package dva"
+	start := time.Now()      // want "time.Now in model package dva"
 	return time.Since(start) // want "time.Since in model package dva"
 }
 
@@ -43,6 +45,10 @@ func seededRand(seed int64) int {
 
 func spawn(ch chan<- int) {
 	go func() { ch <- 1 }() // want "goroutine spawned in model package dva"
+}
+
+func persist() error {
+	return simcache.Open("/nonexistent")
 }
 
 func suppressed() time.Time {

@@ -1,0 +1,7 @@
+// Package simcache is a golden fixture standing in for the real persistent
+// result cache: its basename matches internal/simcache, so importing it from
+// a model-package fixture must trip the determinism analyzer's layering rule.
+package simcache
+
+// Open mimics the real store constructor.
+func Open(dir string) error { return nil }

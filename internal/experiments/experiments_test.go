@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"testing"
 
 	"decvec/internal/sim"
@@ -369,7 +370,7 @@ func TestParallelPropagatesError(t *testing.T) {
 		func() error { return nil },
 		func() error { return errTest },
 	})
-	if errBoom != errTest {
+	if !errors.Is(errBoom, errTest) {
 		t.Errorf("got %v", errBoom)
 	}
 	if err := parallel(nil); err != nil {
@@ -377,11 +378,25 @@ func TestParallelPropagatesError(t *testing.T) {
 	}
 }
 
-var errTest = &testError{}
+// parallel used to drain only the first error; every failing job must now
+// surface in the joined aggregate.
+func TestParallelCollectsAllErrors(t *testing.T) {
+	errOther := &testError{msg: "other"}
+	err := parallel([]func() error{
+		func() error { return errTest },
+		func() error { return nil },
+		func() error { return errOther },
+	})
+	if !errors.Is(err, errTest) || !errors.Is(err, errOther) {
+		t.Errorf("joined error %v is missing one of the two job errors", err)
+	}
+}
 
-type testError struct{}
+var errTest = &testError{msg: "boom"}
 
-func (*testError) Error() string { return "boom" }
+type testError struct{ msg string }
+
+func (e *testError) Error() string { return e.msg }
 
 func TestExtensionOOOShapes(t *testing.T) {
 	s := suite(t)

@@ -63,8 +63,9 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 	}
 	res := &ExtensionOOOResult{Latencies: lats, Windows: ExtensionOOOWindows}
 
-	// The OOO runs are not suite-cached (different config type); they are
-	// computed here, in parallel per (program, latency, window).
+	// The OOO runs go through Suite.RunOOO, so they share the suite's
+	// memory and persistent caches; computed in parallel per
+	// (program, latency, window).
 	type key struct {
 		prog string
 		lat  int64
@@ -81,8 +82,7 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 					cfg := ooo.DefaultConfig(l)
 					cfg.Window = w
 					cfg.PhysRegs = 4 * physFloor(w)
-					cfg.SlowTick = s.SlowTick
-					r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
+					r, err := s.RunOOO(p, cfg)
 					if err != nil {
 						return err
 					}

@@ -8,14 +8,19 @@
 package experiments
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"decvec/internal/dva"
 	"decvec/internal/ideal"
+	"decvec/internal/ooo"
 	"decvec/internal/ref"
 	"decvec/internal/sim"
+	"decvec/internal/simcache"
 	"decvec/internal/trace"
 	"decvec/internal/workload"
 )
@@ -39,10 +44,12 @@ const (
 	DVA Arch = "DVA" // the decoupled vector architecture
 )
 
-// Suite runs simulations for the experiment drivers, caching results so
-// that figures sharing runs (3, 4 and 5 use identical sweeps) simulate each
-// configuration exactly once — also under concurrency: duplicate requests
-// for an in-flight key wait for the first caller instead of re-simulating.
+// Suite runs simulations for the experiment drivers through a two-tier
+// cache: an in-process result map (figures sharing runs — 3, 4 and 5 use
+// identical sweeps — simulate each configuration exactly once, also under
+// concurrency: duplicate requests for an in-flight key wait for the first
+// caller), and optionally a persistent content-addressed store (Disk) that
+// survives the process, so repeat invocations skip simulation entirely.
 // A Suite is safe for concurrent use.
 type Suite struct {
 	// Scale is the trace scale factor (1.0 = default trace sizes).
@@ -57,13 +64,26 @@ type Suite struct {
 	// would mix modes in the cache (harmlessly, but confusingly).
 	SlowTick bool
 
-	mu       sync.Mutex
-	cache    map[suiteKey]*sim.Result
-	inflight map[suiteKey]*flight
-	ideal    map[string]ideal.Bound
-	idealInF map[string]*flight
+	// Disk, when non-nil, is the persistent result cache consulted between
+	// the in-memory map and the simulator (memory → disk → simulate).
+	// Lookups are keyed on trace content, architecture, canonical config
+	// and the generated model fingerprint, so entries from an edited model
+	// can never hit. Set it before the first Run.
+	Disk *simcache.Store
 
-	sims int64 // simulations actually executed (see Simulations)
+	// VerifyFraction re-simulates this fraction of disk hits (selected
+	// deterministically per key) and fails the Run loudly if the stored
+	// bytes differ from the fresh encoding. 1.0 audits every hit;
+	// 0 (default) trusts the checksummed store.
+	VerifyFraction float64
+
+	runs    flightGroup[suiteKey, *sim.Result]
+	oooRuns flightGroup[oooSuiteKey, *sim.Result]
+	ideals  flightGroup[string, ideal.Bound]
+
+	mu     sync.Mutex
+	sims   int64               // simulations actually executed (see Simulations)
+	hashes map[string][32]byte // trace content hash per program, at suite scale
 }
 
 type suiteKey struct {
@@ -72,12 +92,11 @@ type suiteKey struct {
 	cfg     sim.Config
 }
 
-// flight is one in-progress computation other callers can wait on.
-type flight struct {
-	done chan struct{} // closed when r/err (or bound) are set
-	r    *sim.Result
-	err  error
-	b    ideal.Bound
+// oooSuiteKey keys the out-of-order runs, whose configuration extends
+// sim.Config with the window and physical-register pool.
+type oooSuiteKey struct {
+	program string
+	cfg     ooo.Config
 }
 
 // NewSuite returns an empty suite at the given trace scale.
@@ -86,60 +105,138 @@ func NewSuite(scale float64) *Suite {
 		scale = workload.DefaultScale
 	}
 	return &Suite{
-		Scale:    scale,
-		cache:    make(map[suiteKey]*sim.Result),
-		inflight: make(map[suiteKey]*flight),
-		ideal:    make(map[string]ideal.Bound),
-		idealInF: make(map[string]*flight),
+		Scale:   scale,
+		runs:    newFlightGroup[suiteKey, *sim.Result](),
+		oooRuns: newFlightGroup[oooSuiteKey, *sim.Result](),
+		ideals:  newFlightGroup[string, ideal.Bound](),
+		hashes:  make(map[string][32]byte),
 	}
 }
 
 // Simulations returns the number of simulator invocations the suite has
-// performed; cache and singleflight hits do not count.
+// performed; memory-cache, singleflight and disk-cache hits do not count.
+// Cache-verification re-simulations do.
 func (s *Suite) Simulations() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.sims
 }
 
+// CacheStats returns the persistent store's counters, or zeroes when the
+// suite runs without one.
+func (s *Suite) CacheStats() simcache.Stats {
+	if s.Disk == nil {
+		return simcache.Stats{}
+	}
+	return s.Disk.Stats()
+}
+
+// countSim tallies one real simulator invocation.
+func (s *Suite) countSim() {
+	s.mu.Lock()
+	s.sims++
+	s.mu.Unlock()
+}
+
 // Run simulates program p on the given architecture and configuration,
-// returning a cached result when the identical run has been done before.
+// returning a cached result when the identical run has been done before —
+// in this process or, with a Disk store attached, in any previous one.
 // Concurrent calls for the same key share a single simulation.
 func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	if s.SlowTick {
 		cfg.SlowTick = true
 	}
 	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
-	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
+	return s.runs.do(key, func() (*sim.Result, error) {
+		return s.cachedSimulate(p, string(arch), cfg, "", func() (*sim.Result, error) {
+			return s.simulate(p, arch, cfg)
+		})
+	})
+}
+
+// RunOOO simulates program p on the out-of-order extension (§8) with the
+// same two-tier caching discipline as Run.
+func (s *Suite) RunOOO(p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
+	if s.SlowTick {
+		cfg.SlowTick = true
+	}
+	key := oooSuiteKey{program: p.Name, cfg: cfg}
+	return s.oooRuns.do(key, func() (*sim.Result, error) {
+		extra := fmt.Sprintf("window=%d physregs=%d", cfg.Window, cfg.PhysRegs)
+		return s.cachedSimulate(p, "OOO", cfg.Config, extra, func() (*sim.Result, error) {
+			s.countSim()
+			r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: OOO on %s: %w", p.Name, err)
+			}
+			return r, nil
+		})
+	})
+}
+
+// cachedSimulate is the disk tier: consult the persistent store, fall back
+// to the simulator, persist what it produced. With VerifyFraction > 0 a
+// deterministic sample of hits is re-simulated and byte-compared against the
+// stored encoding; a mismatch is a hard error, never a silent repair.
+func (s *Suite) cachedSimulate(p *workload.Program, arch string, cfg sim.Config, extra string, simulate func() (*sim.Result, error)) (*sim.Result, error) {
+	if s.Disk == nil {
+		return simulate()
+	}
+	th, err := s.traceHash(p)
+	if err != nil {
+		// A trace that cannot be hashed cannot be keyed; simulate uncached.
+		return simulate()
+	}
+	key := s.Disk.Key(th, arch, cfg, extra)
+	if r, payload, ok := s.Disk.GetBytes(key); ok {
+		if simcache.VerifySample(key, s.VerifyFraction) {
+			s.Disk.CountVerified()
+			fresh, err := simulate()
+			if err != nil {
+				return nil, err
+			}
+			freshBytes, err := simcache.EncodeResultBytes(fresh)
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(freshBytes, payload) {
+				return nil, fmt.Errorf("experiments: cache verification FAILED for %s %s on %s: stored result differs from re-simulation (key %s…); the store at %s holds results no current model produces — remove it and re-run", arch, cfg.String(), p.Name, key[:16], s.Disk.Dir())
+			}
+		}
 		return r, nil
 	}
-	if f, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-f.done
-		return f.r, f.err
+	r, err := simulate()
+	if err != nil {
+		return nil, err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.sims++
-	s.mu.Unlock()
+	// Persistence is best-effort: a full disk or read-only store must not
+	// fail a simulation that already succeeded.
+	_ = s.Disk.Put(key, r)
+	return r, nil
+}
 
-	f.r, f.err = s.simulate(p, arch, cfg)
-
+// traceHash memoizes the content hash of each program's trace at the suite
+// scale.
+func (s *Suite) traceHash(p *workload.Program) ([32]byte, error) {
 	s.mu.Lock()
-	// Errors are not cached: a later retry gets a fresh attempt.
-	if f.err == nil {
-		s.cache[key] = f.r
+	if h, ok := s.hashes[p.Name]; ok {
+		s.mu.Unlock()
+		return h, nil
 	}
-	delete(s.inflight, key)
 	s.mu.Unlock()
-	close(f.done)
-	return f.r, f.err
+	h, err := p.CachedTraceHash(s.Scale)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	s.mu.Lock()
+	s.hashes[p.Name] = h
+	s.mu.Unlock()
+	return h, nil
 }
 
 // simulate performs one uncached simulator invocation.
 func (s *Suite) simulate(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	s.countSim()
 	tr := p.CachedTrace(s.Scale)
 	var (
 		r   *sim.Result
@@ -162,37 +259,76 @@ func (s *Suite) simulate(p *workload.Program, arch Arch, cfg sim.Config) (*sim.R
 // Ideal returns the five-resource lower bound for the program (§5).
 // Concurrent calls for the same program share a single computation.
 func (s *Suite) Ideal(p *workload.Program) ideal.Bound {
-	s.mu.Lock()
-	if b, ok := s.ideal[p.Name]; ok {
-		s.mu.Unlock()
-		return b
-	}
-	if f, ok := s.idealInF[p.Name]; ok {
-		s.mu.Unlock()
-		<-f.done
-		return f.b
-	}
-	f := &flight{done: make(chan struct{})}
-	s.idealInF[p.Name] = f
-	s.mu.Unlock()
-
-	f.b = ideal.Compute(p.CachedTrace(s.Scale))
-
-	s.mu.Lock()
-	s.ideal[p.Name] = f.b
-	delete(s.idealInF, p.Name)
-	s.mu.Unlock()
-	close(f.done)
-	return f.b
+	b, _ := s.ideals.do(p.Name, func() (ideal.Bound, error) {
+		return ideal.Compute(p.CachedTrace(s.Scale)), nil
+	})
+	return b
 }
 
-// Stats returns the trace statistics for the program at the suite scale.
+// Stats returns the trace statistics for the program at the suite scale,
+// memoized on the program so figure drivers never re-drain a trace.
 func (s *Suite) Stats(p *workload.Program) *trace.Stats {
-	return trace.Collect(p.CachedTrace(s.Scale))
+	return p.CachedStats(s.Scale)
 }
 
-// parallel runs the jobs across the available CPUs and returns the first
-// error. Jobs must be independent; the Suite cache serializes internally.
+// flightGroup memoizes successful computations per key and deduplicates
+// concurrent requests: duplicate calls for an in-flight key wait for the
+// first caller instead of recomputing. Errors are not cached — a later
+// retry gets a fresh attempt.
+type flightGroup[K comparable, V any] struct {
+	mu       *sync.Mutex
+	cache    map[K]V
+	inflight map[K]*flightCall[V]
+}
+
+// flightCall is one in-progress computation other callers can wait on.
+type flightCall[V any] struct {
+	done chan struct{} // closed when v/err are set
+	v    V
+	err  error
+}
+
+func newFlightGroup[K comparable, V any]() flightGroup[K, V] {
+	return flightGroup[K, V]{
+		mu:       new(sync.Mutex),
+		cache:    make(map[K]V),
+		inflight: make(map[K]*flightCall[V]),
+	}
+}
+
+// do returns the cached value for key, joins an in-flight computation, or
+// runs fn itself and publishes the outcome.
+func (g *flightGroup[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if v, ok := g.cache[key]; ok {
+		g.mu.Unlock()
+		return v, nil
+	}
+	if c, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.v, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	g.mu.Lock()
+	if c.err == nil {
+		g.cache[key] = c.v
+	}
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.v, c.err
+}
+
+// parallel runs the jobs across the available CPUs. All jobs run to
+// completion; every error is collected and the joined aggregate returned,
+// so one failing configuration cannot mask the others. Jobs must be
+// independent; the Suite cache serializes internally.
 func parallel(jobs []func() error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
@@ -202,14 +338,19 @@ func parallel(jobs []func() error) error {
 		workers = 1
 	}
 	ch := make(chan func() error)
-	errs := make(chan error, len(jobs))
+	var mu sync.Mutex
+	var errs []error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for job := range ch {
-				errs <- job()
+				if err := job(); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
 			}
 		}()
 	}
@@ -218,30 +359,41 @@ func parallel(jobs []func() error) error {
 	}
 	close(ch)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // warm pre-runs all (program, arch, cfg) combinations in parallel so the
-// figure drivers can then read everything from cache sequentially.
+// figure drivers can then read everything from cache sequentially. Jobs are
+// submitted longest-expected-first — cost proxied by trace length × memory
+// latency — so the slowest simulations start immediately and the short ones
+// fill the remaining worker capacity, instead of a grid-order tail where one
+// late-submitted long run idles every other CPU.
 func (s *Suite) warm(programs []*workload.Program, runs []struct {
 	arch Arch
 	cfg  sim.Config
 }) error {
-	var jobs []func() error
+	type job struct {
+		cost int64
+		run  func() error
+	}
+	jobs := make([]job, 0, len(programs)*len(runs))
 	for _, p := range programs {
+		length := int64(p.CachedTrace(s.Scale).Len())
 		for _, r := range runs {
 			p, r := p, r
-			jobs = append(jobs, func() error {
-				_, err := s.Run(p, r.arch, r.cfg)
-				return err
+			jobs = append(jobs, job{
+				cost: length * r.cfg.MemLatency,
+				run: func() error {
+					_, err := s.Run(p, r.arch, r.cfg)
+					return err
+				},
 			})
 		}
 	}
-	return parallel(jobs)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
+	fns := make([]func() error, len(jobs))
+	for i, j := range jobs {
+		fns[i] = j.run
+	}
+	return parallel(fns)
 }

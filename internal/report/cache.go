@@ -1,0 +1,37 @@
+package report
+
+import (
+	"decvec/internal/simcache"
+)
+
+// CacheTable renders the persistent result cache's counters as a one-row
+// table (the `dvabench` end-of-run cache summary).
+func CacheTable(st simcache.Stats) string {
+	t := NewTable("Result cache",
+		"hits", "misses", "corrupt", "evicted", "writes", "verified")
+	t.AddRowf(st.Hits, st.Misses, st.Corrupt, st.Evicted, st.Writes, st.Verified)
+	return t.String()
+}
+
+// CacheMetric is the machine-readable form of the cache counters, attached
+// to Metrics when a run went through the persistent store.
+type CacheMetric struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Corrupt  int64 `json:"corrupt"`
+	Evicted  int64 `json:"evicted"`
+	Writes   int64 `json:"writes"`
+	Verified int64 `json:"verified"`
+}
+
+// CacheMetricOf converts a counter snapshot.
+func CacheMetricOf(st simcache.Stats) *CacheMetric {
+	return &CacheMetric{
+		Hits:     st.Hits,
+		Misses:   st.Misses,
+		Corrupt:  st.Corrupt,
+		Evicted:  st.Evicted,
+		Writes:   st.Writes,
+		Verified: st.Verified,
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"decvec/internal/sim"
+	"decvec/internal/simcache"
 )
 
 // This file renders the observability layer's data — stall attribution,
@@ -36,6 +37,9 @@ type Metrics struct {
 	ProcStalls []ProcStallMetric `json:"procStalls"`
 	// Queues summarizes every architectural queue (absent for REF).
 	Queues []QueueMetric `json:"queues,omitempty"`
+	// Cache is the persistent result-cache counter snapshot, present only
+	// when the run was served through a store (dvasim -cache).
+	Cache *CacheMetric `json:"cache,omitempty"`
 }
 
 // StateMetric is one (FU2,FU1,LD) state's share of the run.
@@ -123,6 +127,14 @@ func CollectMetrics(res *sim.Result) *Metrics {
 // MetricsJSON renders the result as indented JSON.
 func MetricsJSON(res *sim.Result) ([]byte, error) {
 	return json.MarshalIndent(CollectMetrics(res), "", "  ")
+}
+
+// MetricsJSONWithCache is MetricsJSON with the persistent cache counters
+// attached.
+func MetricsJSONWithCache(res *sim.Result, st simcache.Stats) ([]byte, error) {
+	m := CollectMetrics(res)
+	m.Cache = CacheMetricOf(st)
+	return json.MarshalIndent(m, "", "  ")
 }
 
 // StallTable renders the nonzero stall reasons of a run as a table, with

@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Versioned binary codec for Result — the on-disk representation behind the
+// persistent simulation cache (internal/simcache). The encoding is fully
+// deterministic: equal results always produce identical bytes, so cache
+// verification can compare encodings instead of walking the struct.
+//
+// Canonicalization: Config.SlowTick is encoded as false. The fast and slow
+// tick modes are bit-identical (see DESIGN.md "Idle-skip advancement"), the
+// cache keys normalize SlowTick out, and a canonical encoding keeps
+// byte-comparisons between a stored result and a re-simulated one meaningful
+// whichever mode produced them.
+//
+// Versioning: the magic carries the format version. The codec only ever needs
+// to read bytes written by the same model fingerprint (a fingerprint change
+// invalidates every cache key), so a format change simply bumps the magic and
+// old entries become cache misses.
+
+// resultMagic identifies the serialized-result format and its version.
+const resultMagic = "DVRES1\n"
+
+// Decoder sanity caps: a corrupt or hostile header must not drive
+// allocations beyond what a genuine result could ever hold.
+const (
+	maxCodecName    = 256     // queue/arch name length
+	maxCodecBuckets = 1 << 24 // histogram buckets
+	maxCodecQueues  = 1 << 12 // queue stats per result
+)
+
+// EncodeResult writes the canonical binary encoding of r to w.
+func EncodeResult(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(resultMagic); err != nil {
+		return err
+	}
+	e := &resultEncoder{w: bw}
+	e.string(r.Arch)
+	e.config(&r.Config)
+	e.varint(r.Cycles)
+	for s := 0; s < NumStates; s++ {
+		e.varint(r.States.Cycles[s])
+	}
+	e.varint(r.Counts.ScalarInsts)
+	e.varint(r.Counts.VectorInsts)
+	e.varint(r.Counts.VectorOps)
+	e.varint(r.Counts.BasicBlocks)
+	e.varint(r.Counts.SpillMemOps)
+	e.varint(r.Counts.MemInsts)
+	e.varint(r.Traffic.LoadElems)
+	e.varint(r.Traffic.StoreElems)
+	e.histogram(r.AVDQBusy)
+	e.histogram(r.VADQBusy)
+	e.varint(r.Bypasses)
+	e.varint(r.BypassedElems)
+	e.varint(r.Flushes)
+	e.varint(r.ScalarCacheHits)
+	e.varint(r.ScalarCacheMisses)
+	e.uvarint(uint64(NumStallReasons))
+	for i := 0; i < int(NumStallReasons); i++ {
+		e.varint(r.Stalls[i])
+	}
+	e.queues(r.Queues)
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+// resultEncoder accumulates the first write error so the field encoders can
+// chain without per-call error handling.
+type resultEncoder struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (e *resultEncoder) varint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *resultEncoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *resultEncoder) byte(b byte) {
+	if e.err != nil {
+		return
+	}
+	e.err = e.w.WriteByte(b)
+}
+
+func (e *resultEncoder) bool(b bool) {
+	if b {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *resultEncoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString(s)
+}
+
+func (e *resultEncoder) float(f float64) {
+	if e.err != nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	_, e.err = e.w.Write(b[:])
+}
+
+// config encodes every Config field in declaration order, with SlowTick
+// canonicalized to false. codec_test pins the field count so a new Config
+// field cannot be forgotten here silently.
+func (e *resultEncoder) config(c *Config) {
+	e.varint(c.MemLatency)
+	e.varint(c.AddDepth)
+	e.varint(c.MulDepth)
+	e.varint(c.DivDepth)
+	e.varint(c.SqrtDepth)
+	e.varint(c.QMovDepth)
+	e.varint(c.ChainDelay)
+	e.varint(int64(c.ScalarCacheLines))
+	e.varint(int64(c.ScalarCacheLineBytes))
+	e.varint(int64(c.IQSize))
+	e.varint(int64(c.ScalarQSize))
+	e.varint(int64(c.AVDQSize))
+	e.varint(int64(c.VADQSize))
+	e.varint(int64(c.VSAQSize))
+	e.varint(int64(c.MemPorts))
+	e.varint(int64(c.QMovUnits))
+	e.bool(c.Bypass)
+	e.varint(c.LatencyJitter)
+	e.bool(false) // SlowTick, canonicalized
+}
+
+func (e *resultEncoder) histogram(h *Histogram) {
+	if h == nil {
+		e.byte(0)
+		return
+	}
+	e.byte(1)
+	e.uvarint(uint64(len(h.Buckets)))
+	for _, c := range h.Buckets {
+		e.varint(c)
+	}
+	e.varint(h.Clamped)
+}
+
+func (e *resultEncoder) queues(qs []QueueStat) {
+	if qs == nil {
+		e.byte(0)
+		return
+	}
+	e.byte(1)
+	e.uvarint(uint64(len(qs)))
+	for _, q := range qs {
+		e.string(q.Name)
+		e.varint(int64(q.Cap))
+		e.varint(q.Pushes)
+		e.varint(q.Pops)
+		e.varint(int64(q.Peak))
+		e.float(q.MeanLen)
+		e.varint(q.FullCycles)
+	}
+}
+
+// DecodeResult reads a result written by EncodeResult. Any malformed input —
+// truncation, bad magic, implausible lengths — returns an error; the decoder
+// never panics, so corrupt cache entries degrade into misses.
+func DecodeResult(r io.Reader) (*Result, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(resultMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sim: result magic: %w", err)
+	}
+	if string(magic) != resultMagic {
+		return nil, fmt.Errorf("sim: bad result magic %q", magic)
+	}
+	d := &resultDecoder{r: br}
+	res := &Result{}
+	res.Arch = d.string(maxCodecName)
+	d.configInto(&res.Config)
+	res.Cycles = d.varint()
+	for s := 0; s < NumStates; s++ {
+		res.States.Cycles[s] = d.varint()
+	}
+	res.Counts.ScalarInsts = d.varint()
+	res.Counts.VectorInsts = d.varint()
+	res.Counts.VectorOps = d.varint()
+	res.Counts.BasicBlocks = d.varint()
+	res.Counts.SpillMemOps = d.varint()
+	res.Counts.MemInsts = d.varint()
+	res.Traffic.LoadElems = d.varint()
+	res.Traffic.StoreElems = d.varint()
+	res.AVDQBusy = d.histogram()
+	res.VADQBusy = d.histogram()
+	res.Bypasses = d.varint()
+	res.BypassedElems = d.varint()
+	res.Flushes = d.varint()
+	res.ScalarCacheHits = d.varint()
+	res.ScalarCacheMisses = d.varint()
+	if n := d.uvarint(1 << 8); d.err == nil && n != uint64(NumStallReasons) {
+		return nil, fmt.Errorf("sim: result has %d stall reasons, this model has %d", n, NumStallReasons)
+	}
+	for i := 0; i < int(NumStallReasons); i++ {
+		res.Stalls[i] = d.varint()
+	}
+	res.Queues = d.queues()
+	if d.err != nil {
+		return nil, fmt.Errorf("sim: decoding result: %w", d.err)
+	}
+	// The encoding must end exactly here; trailing bytes mean a mismatched
+	// writer and a checksum that no longer covers what we decoded.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sim: trailing bytes after result")
+	}
+	return res, nil
+}
+
+type resultDecoder struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (d *resultDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.err = err
+	}
+	return v
+}
+
+func (d *resultDecoder) uvarint(max uint64) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	if v > max {
+		d.err = fmt.Errorf("length %d exceeds cap %d", v, max)
+		return 0
+	}
+	return v
+}
+
+func (d *resultDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+	}
+	return b
+}
+
+func (d *resultDecoder) bool() bool {
+	switch b := d.byte(); b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("bad bool byte %d", b)
+		}
+		return false
+	}
+}
+
+func (d *resultDecoder) string(max uint64) string {
+	n := d.uvarint(max)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (d *resultDecoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		d.err = err
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+func (d *resultDecoder) configInto(c *Config) {
+	c.MemLatency = d.varint()
+	c.AddDepth = d.varint()
+	c.MulDepth = d.varint()
+	c.DivDepth = d.varint()
+	c.SqrtDepth = d.varint()
+	c.QMovDepth = d.varint()
+	c.ChainDelay = d.varint()
+	c.ScalarCacheLines = int(d.varint())
+	c.ScalarCacheLineBytes = int(d.varint())
+	c.IQSize = int(d.varint())
+	c.ScalarQSize = int(d.varint())
+	c.AVDQSize = int(d.varint())
+	c.VADQSize = int(d.varint())
+	c.VSAQSize = int(d.varint())
+	c.MemPorts = int(d.varint())
+	c.QMovUnits = int(d.varint())
+	c.Bypass = d.bool()
+	c.LatencyJitter = d.varint()
+	c.SlowTick = d.bool()
+}
+
+func (d *resultDecoder) histogram() *Histogram {
+	if d.byte() == 0 {
+		return nil
+	}
+	n := d.uvarint(maxCodecBuckets)
+	if d.err != nil {
+		return nil
+	}
+	h := &Histogram{Buckets: make([]int64, n)}
+	for i := range h.Buckets {
+		h.Buckets[i] = d.varint()
+	}
+	h.Clamped = d.varint()
+	return h
+}
+
+func (d *resultDecoder) queues() []QueueStat {
+	if d.byte() == 0 {
+		return nil
+	}
+	n := d.uvarint(maxCodecQueues)
+	if d.err != nil {
+		return nil
+	}
+	qs := make([]QueueStat, 0, n)
+	for i := uint64(0); i < n; i++ {
+		q := QueueStat{
+			Name:   d.string(maxCodecName),
+			Cap:    int(d.varint()),
+			Pushes: d.varint(),
+			Pops:   d.varint(),
+			Peak:   int(d.varint()),
+		}
+		q.MeanLen = d.float()
+		q.FullCycles = d.varint()
+		if d.err != nil {
+			return nil
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}

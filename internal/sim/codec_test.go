@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// sampleResult builds a fully-populated DVA-shaped result exercising every
+// codec field, including negative-capable counters left at odd values.
+func sampleResult() *Result {
+	cfg := DefaultConfig(30)
+	cfg.Bypass = true
+	cfg.LatencyJitter = 7
+	cfg.VSAQSize = 12
+	r := &Result{
+		Arch:   "BYP",
+		Config: cfg,
+		Cycles: 123456789,
+		Counts: Counts{
+			ScalarInsts: 1000, VectorInsts: 200, VectorOps: 12800,
+			BasicBlocks: 55, SpillMemOps: 70, MemInsts: 400,
+		},
+		Traffic:           MemTraffic{LoadElems: 9001, StoreElems: 4002},
+		AVDQBusy:          NewHistogram(256),
+		VADQBusy:          NewHistogram(16),
+		Bypasses:          17,
+		BypassedElems:     1088,
+		Flushes:           3,
+		ScalarCacheHits:   31337,
+		ScalarCacheMisses: 42,
+	}
+	for s := State(0); s < NumStates; s++ {
+		r.States.Cycles[s] = int64(s) * 1000003
+	}
+	r.AVDQBusy.ObserveN(5, 120)
+	r.AVDQBusy.ObserveN(256, 4)
+	r.AVDQBusy.ObserveN(300, 2) // clamps
+	r.VADQBusy.ObserveN(0, 99)
+	for i := range r.Stalls {
+		r.Stalls[i] = int64(i) * 7
+	}
+	r.Queues = []QueueStat{
+		{Name: "AVDQ", Cap: 256, Pushes: 1000, Pops: 998, Peak: 200, MeanLen: 37.25, FullCycles: 12},
+		{Name: "VADQ", Cap: 16, Pushes: 400, Pops: 400, Peak: 16, MeanLen: 3.5, FullCycles: 88},
+	}
+	return r
+}
+
+// refResult builds a REF-shaped result: nil histograms, nil queue list.
+func refResult() *Result {
+	r := &Result{Arch: "REF", Config: DefaultConfig(1), Cycles: 42}
+	r.States.Cycles[0] = 40
+	r.States.Cycles[StateLD] = 2
+	r.Stalls[StallRefBus] = 9
+	return r
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	for _, r := range []*Result{sampleResult(), refResult()} {
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, r); err != nil {
+			t.Fatalf("%s: encode: %v", r.Arch, err)
+		}
+		got, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", r.Arch, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("%s: round trip mismatch:\n got %+v\nwant %+v", r.Arch, got, r)
+		}
+	}
+}
+
+// The encoding canonicalizes SlowTick away: both tick modes are bit-identical
+// (the PR 3 equivalence suite pins this), so a result simulated in slow mode
+// must serialize to the same bytes as its fast-mode twin.
+func TestResultCodecCanonicalizesSlowTick(t *testing.T) {
+	fast := sampleResult()
+	slow := sampleResult()
+	slow.Config.SlowTick = true
+	var bFast, bSlow bytes.Buffer
+	if err := EncodeResult(&bFast, fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeResult(&bSlow, slow); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bFast.Bytes(), bSlow.Bytes()) {
+		t.Error("SlowTick leaked into the encoding; fast and slow results must serialize identically")
+	}
+	got, err := DecodeResult(bytes.NewReader(bSlow.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.SlowTick {
+		t.Error("decoded result kept SlowTick=true; the codec canonicalizes it to false")
+	}
+}
+
+// Determinism: the same result must always encode to the same bytes.
+func TestResultCodecDeterministic(t *testing.T) {
+	r := sampleResult()
+	var a, b bytes.Buffer
+	if err := EncodeResult(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeResult(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of the same result differ")
+	}
+}
+
+func TestResultCodecRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 3, len(resultMagic), len(full) / 2, len(full) - 1} {
+			if _, err := DecodeResult(bytes.NewReader(full[:n])); err == nil {
+				t.Errorf("truncation to %d bytes decoded without error", n)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, full...)
+		bad[0] ^= 0xff
+		if _, err := DecodeResult(bytes.NewReader(bad)); err == nil {
+			t.Error("corrupted magic decoded without error")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		bad := append(append([]byte{}, full...), 0x00)
+		if _, err := DecodeResult(bytes.NewReader(bad)); err == nil {
+			t.Error("trailing byte decoded without error")
+		}
+	})
+}
+
+// The codec lists Config and Result fields explicitly; these pins force a
+// compile-visible failure here when a field is added, so the codec (and the
+// cache key derivation in internal/simcache) get updated together.
+func TestCodecCoversAllFields(t *testing.T) {
+	if n := reflect.TypeOf(Config{}).NumField(); n != 19 {
+		t.Errorf("sim.Config has %d fields, codec encodes 19: update codec.go (encoder+decoder) and this pin", n)
+	}
+	if n := reflect.TypeOf(Result{}).NumField(); n != 15 {
+		t.Errorf("sim.Result has %d fields, codec encodes 15: update codec.go (encoder+decoder) and this pin", n)
+	}
+	if n := reflect.TypeOf(QueueStat{}).NumField(); n != 7 {
+		t.Errorf("sim.QueueStat has %d fields, codec encodes 7: update codec.go (encoder+decoder) and this pin", n)
+	}
+	if n := reflect.TypeOf(Counts{}).NumField(); n != 6 {
+		t.Errorf("sim.Counts has %d fields, codec encodes 6: update codec.go (encoder+decoder) and this pin", n)
+	}
+}
+
+// FuzzDecodeResult asserts the decoder never panics on arbitrary bytes, and
+// that anything it accepts re-encodes and re-decodes to the same value (the
+// decoded form is a fixed point of the codec).
+func FuzzDecodeResult(f *testing.F) {
+	for _, r := range []*Result{sampleResult(), refResult()} {
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, r); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(resultMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResult(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, r); err != nil {
+			t.Fatalf("re-encoding accepted input: %v", err)
+		}
+		r2, err := DecodeResult(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := EncodeResult(&buf2, r2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Error("decode∘encode is not a fixed point")
+		}
+	})
+}
+
+// A decoder reading from a stream must consume exactly the encoding (no
+// buffered over-read past a valid result when framed externally); DecodeResult
+// takes the whole payload, so here we just pin that encode length is stable.
+func TestEncodeLengthStable(t *testing.T) {
+	var a bytes.Buffer
+	if err := EncodeResult(&a, refResult()); err != nil {
+		t.Fatal(err)
+	}
+	n := a.Len()
+	a.Reset()
+	if err := EncodeResult(io.Writer(&a), refResult()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != n {
+		t.Errorf("encode length unstable: %d vs %d", a.Len(), n)
+	}
+}

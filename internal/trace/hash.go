@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// Hash returns the SHA-256 of the trace's canonical binary encoding (the
+// Write format). Because the encoding is deterministic, equal traces always
+// hash equal; the persistent simulation cache uses this as the trace
+// component of its content-addressed keys.
+func Hash(s *Slice) ([sha256.Size]byte, error) {
+	h := sha256.New()
+	if err := Write(h, s); err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("trace: hashing: %w", err)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
+}
