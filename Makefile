@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench profile verify generate
+.PHONY: build test vet lint race bench profile verify generate loadtest
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ bench:
 		-current bench_current.txt -out BENCH_PR5.json \
 		-desc "persistent content-addressed result cache (PR 5)" \
 		-notes "cold/warm cache benchmarks added in PR 5; suite benchmarks now include extension-ooo runs routed through the shared cache"
+
+# loadtest stands up a throwaway dvad daemon and storms it with dvadload:
+# identical concurrent requests must coalesce into at most one simulation,
+# a mixed storm exercises the admission gate, and SIGTERM must drain
+# gracefully. Prints latency percentiles. See DESIGN.md "Serving".
+loadtest:
+	GO=$(GO) sh bench/loadtest.sh
 
 # profile produces pprof CPU and heap profiles of a full dvabench run.
 # Inspect with: go tool pprof dvabench.bin cpu.pprof

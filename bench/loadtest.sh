@@ -1,0 +1,63 @@
+#!/bin/sh
+# loadtest.sh — end-to-end load test of the dvad daemon (`make loadtest`).
+#
+# Builds dvad and dvadload, starts the daemon on a throwaway port with a
+# temporary cache directory, storms it with identical concurrent requests,
+# and asserts the coalescing contract: N requests, at most one simulation.
+# The daemon is then shut down gracefully (SIGTERM) and must drain and exit
+# zero. Latency percentiles and the served/simulated counters print on the
+# way through.
+#
+# Tunables (env): DVAD_PORT (default 18382), LOAD_N (200), LOAD_C (100),
+# LOAD_SCALE (0.25).
+set -eu
+
+PORT="${DVAD_PORT:-18382}"
+N="${LOAD_N:-200}"
+C="${LOAD_C:-100}"
+SCALE="${LOAD_SCALE:-0.25}"
+URL="http://127.0.0.1:$PORT"
+
+GO="${GO:-go}"
+$GO build -o dvad.bin ./cmd/dvad
+$GO build -o dvadload.bin ./cmd/dvadload
+
+CACHE="$(mktemp -d)"
+./dvad.bin -addr "127.0.0.1:$PORT" -scale "$SCALE" -cache-dir "$CACHE" &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -rf "$CACHE"
+}
+trap cleanup EXIT
+
+ready=0
+i=0
+while [ "$i" -lt 100 ]; do
+    if curl -fsS "$URL/healthz" >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ "$ready" -ne 1 ]; then
+    echo "loadtest: dvad did not become healthy on $URL" >&2
+    exit 1
+fi
+
+# Cold storm: every request identical, so the daemon must coalesce them
+# into (at most) one simulation.
+./dvadload.bin -url "$URL" -n "$N" -c "$C" -assert-coalesce
+
+# Mixed storm: distinct configurations per request, exercising the
+# admission gate and throughput instead of coalescing.
+./dvadload.bin -url "$URL" -n "$N" -c "$C" -mix
+
+# Graceful shutdown: SIGTERM must drain and exit zero, printing the final
+# server and cache tables.
+kill -TERM "$PID"
+wait "$PID"
+trap - EXIT
+rm -rf "$CACHE"
+echo "loadtest: PASS"

@@ -19,10 +19,11 @@
 // Simulation results persist in a content-addressed cache (default
 // $XDG_CACHE_HOME/decvec; see DESIGN.md "Result cache"), so repeat
 // invocations skip simulation entirely. -cache=off disables it, -cache-dir
-// relocates it, -cache-max-mb bounds it, and -cache-verify re-simulates a
-// fraction of cache hits and fails loudly on any divergence. Keys include a
-// fingerprint of the simulator sources, so editing any model forces a cold
-// run.
+// relocates it, -cache-max-mb bounds it (GC runs at the end of every
+// invocation, even ones that fail mid-run), and -cache-verify re-simulates
+// a fraction of cache hits and fails loudly on any divergence. Keys
+// include a fingerprint of the simulator sources, so editing any model
+// forces a cold run.
 package main
 
 import (
@@ -39,6 +40,14 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole invocation so that end-of-run cache maintenance —
+// the GC that enforces -cache-max-mb and the hit/miss accounting — happens
+// on every exit path, including mid-run experiment failures. os.Exit would
+// skip it; main only forwards the code.
+func run() int {
 	var (
 		exps       = flag.String("exp", "all", "comma-separated experiments to run, or 'all'; available: "+strings.Join(decvec.ExperimentNames(), ","))
 		scale      = flag.Float64("scale", 1.0, "trace scale factor (1.0 = default trace sizes)")
@@ -54,22 +63,26 @@ func main() {
 		cacheVerify = flag.Float64("cache-verify", 0, "re-simulate this fraction of cache hits and fail on any mismatch (1 audits every hit)")
 	)
 	flag.Parse()
+	if *cacheMaxMB < 0 {
+		fmt.Fprintf(os.Stderr, "dvabench: -cache-max-mb must be >= 0 (0 = unbounded), got %d\n", *cacheMaxMB)
+		return 2
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -104,6 +117,11 @@ func main() {
 			}
 		}
 	}
+
+	// A mid-run failure stops launching experiments but still falls through
+	// to the cache GC and counters below — completed runs were already
+	// Put, so the store must still be brought back under its cap.
+	var runErr error
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -112,20 +130,23 @@ func main() {
 		start := time.Now()
 		out, err := decvec.RunExperimentWithSuite(suite, name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			runErr = err
+			break
 		}
 		fmt.Printf("==== %s ====\n%s\n", name, out)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, name+".txt")
 			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-				os.Exit(1)
+				runErr = err
+				break
 			}
 		}
 		if !*quiet {
 			fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "dvabench: %v\n", runErr)
 	}
 
 	if suite.Disk != nil {
@@ -142,13 +163,17 @@ func main() {
 		f, err := os.Create(*memProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		runtime.GC() // settle allocations so the profile reflects live data
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "dvabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		f.Close()
 	}
+	if runErr != nil {
+		return 1
+	}
+	return 0
 }

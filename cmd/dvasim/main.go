@@ -12,13 +12,16 @@
 //	dvasim -prog BDNA -metrics-json -              # ... on stdout (quiet)
 //	dvasim -prog BDNA -events trace.json           # chrome://tracing event file
 //
-// Results persist in the content-addressed cache shared with dvabench
-// (default $XDG_CACHE_HOME/decvec; -cache=off disables, -cache-dir
-// relocates, -cache-verify audits hits by re-simulation). Event-recording
-// runs always simulate, since the event stream is not cached.
+// Results persist in the content-addressed cache shared with dvabench and
+// dvad (default $XDG_CACHE_HOME/decvec; -cache=off disables, -cache-dir
+// relocates, -cache-max-mb bounds it — GC'd at the end of every run, error
+// paths included — and -cache-verify audits hits by re-simulation).
+// Event-recording runs always simulate, since the event stream is not
+// cached.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +30,31 @@ import (
 	"decvec"
 )
 
+// errQuiet marks machine-readable-output runs that suppress the human
+// report; it is not a failure.
+var errQuiet = errors.New("quiet")
+
+// usageError distinguishes bad invocations (exit 2, matching dvabench and
+// dvad) from runtime failures (exit 1).
+type usageError struct{ error }
+
 func main() {
+	err := run()
+	if err == nil || err == errQuiet {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
+	var ue usageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// run holds the whole invocation so the deferred cache GC executes on every
+// exit path — a mid-run error must not leave the shared store over its cap
+// (os.Exit skips defers, so main only decides the exit code).
+func run() error {
 	var (
 		prog      = flag.String("prog", "ARC2D", "program to simulate: "+strings.Join(decvec.Workloads(), ","))
 		arch      = flag.String("arch", "DVA", "architecture: REF, DVA or BYP")
@@ -43,9 +70,13 @@ func main() {
 
 		cacheMode   = flag.String("cache", "on", "persistent result cache: on or off (event recording always simulates)")
 		cacheDir    = flag.String("cache-dir", "", "result cache directory (default $XDG_CACHE_HOME/decvec)")
+		cacheMaxMB  = flag.Int64("cache-max-mb", 512, "result cache size cap in MiB, enforced after the run (0 = unbounded)")
 		cacheVerify = flag.Float64("cache-verify", 0, "re-simulate this fraction of cache hits and fail on any mismatch")
 	)
 	flag.Parse()
+	if *cacheMaxMB < 0 {
+		return usageError{fmt.Errorf("-cache-max-mb must be >= 0 (0 = unbounded), got %d", *cacheMaxMB)}
+	}
 
 	cfg := decvec.DefaultConfig(*latency)
 	cfg.AVDQSize = *loadQ
@@ -71,19 +102,19 @@ func main() {
 	if *infile != "" {
 		f, err := os.Open(*infile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		src, err = decvec.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		name, desc = src.Name(), "trace file "+*infile
 		idealCycles = decvec.IdealCyclesOf(src)
 	} else {
 		w, err := decvec.LoadWorkload(*prog)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		name, desc = w.Name(), w.Description()
 		idealCycles = w.IdealCycles()
@@ -99,12 +130,25 @@ func main() {
 			dir = decvec.DefaultCacheDir()
 		}
 		if dir != "" {
+			maxBytes := *cacheMaxMB << 20
+			if *cacheMaxMB == 0 {
+				maxBytes = -1 // unbounded
+			}
 			var err error
-			if store, err = decvec.OpenCache(dir, decvec.CacheOptions{}); err != nil {
+			if store, err = decvec.OpenCache(dir, decvec.CacheOptions{MaxBytes: maxBytes}); err != nil {
 				fmt.Fprintf(os.Stderr, "dvasim: %v; running uncached\n", err)
 				store = nil
 			}
 		}
+	}
+	// The store is shared with dvabench and dvad; dvasim-only usage must
+	// respect the size cap too, so GC on every exit path from here on.
+	if store != nil {
+		defer func() {
+			if _, err := store.GC(); err != nil {
+				fmt.Fprintf(os.Stderr, "dvasim: cache GC: %v\n", err)
+			}
+		}()
 	}
 	var res *decvec.Result
 	var err error
@@ -114,7 +158,7 @@ func main() {
 		res, err = decvec.RunSourceRecorded(src, archName, cfg, rec)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *jsonOut != "" {
@@ -125,16 +169,20 @@ func main() {
 			b, err = decvec.MetricsJSON(res)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		writeOutput(*jsonOut, append(b, '\n'))
+		if err := writeOutput(*jsonOut, append(b, '\n')); err != nil {
+			return err
+		}
 	}
 	if *eventsOut != "" {
-		writeEvents(*eventsOut, res, rec)
+		if err := writeEvents(*eventsOut, res, rec); err != nil {
+			return err
+		}
 	}
 	// Machine-readable output on stdout suppresses the human report.
 	if *jsonOut == "-" || *eventsOut == "-" {
-		return
+		return errQuiet
 	}
 
 	fmt.Printf("%s on %s (%s)\n", name, res.Arch, desc)
@@ -170,44 +218,33 @@ func main() {
 		fmt.Printf("\n  (event trace truncated: %d events dropped at -max-events %d)\n",
 			rec.Dropped, rec.MaxEvents)
 	}
+	return nil
 }
 
-func writeEvents(path string, res *decvec.Result, rec *decvec.Recorder) {
+func writeEvents(path string, res *decvec.Result, rec *decvec.Recorder) error {
 	if path == "-" {
-		if err := decvec.WriteTraceEvents(os.Stdout, res, rec); err != nil {
-			fatal(err)
-		}
-		return
+		return decvec.WriteTraceEvents(os.Stdout, res, rec)
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := decvec.WriteTraceEvents(f, res, rec); err != nil {
 		f.Close()
-		fatal(err)
+		return err
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
-	}
+	return f.Close()
 }
 
-func writeOutput(path string, b []byte) {
+func writeOutput(path string, b []byte) error {
 	if path == "-" {
-		os.Stdout.Write(b)
-		return
+		_, err := os.Stdout.Write(b)
+		return err
 	}
-	if err := os.WriteFile(path, b, 0o644); err != nil {
-		fatal(err)
-	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func indent(s string) string {
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
 	return "  " + strings.Join(lines, "\n  ") + "\n"
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "dvasim: %v\n", err)
-	os.Exit(1)
 }

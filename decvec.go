@@ -29,6 +29,7 @@ import (
 	"decvec/internal/ooo"
 	"decvec/internal/ref"
 	"decvec/internal/report"
+	"decvec/internal/server"
 	"decvec/internal/sim"
 	"decvec/internal/simcache"
 	"decvec/internal/trace"
@@ -241,7 +242,11 @@ func MetricsJSONWithCache(res *Result, st CacheStats) ([]byte, error) {
 // RunSourceCached, to make repeat runs skip simulation entirely.
 type CacheStore = simcache.Store
 
-// CacheOptions configures OpenCache.
+// CacheOptions configures OpenCache. MaxBytes is the GC size cap: 0 applies
+// the 512 MiB default, and a negative value means explicitly unbounded —
+// callers exposing a size flag should validate user input themselves
+// (dvabench, dvasim and dvad all reject a negative -cache-max-mb) and map
+// their documented "0 = unbounded" convention onto a negative MaxBytes.
 type CacheOptions = simcache.Options
 
 // CacheStats are a store's lifetime counters.
@@ -315,6 +320,35 @@ func RunSourceCached(store *CacheStore, src trace.Source, arch string, cfg Confi
 	_ = store.Put(key, r)
 	return r, nil
 }
+
+// Server is the dvad simulation daemon: an HTTP/JSON front end over an
+// embedded Suite, with request coalescing (identical concurrent requests
+// share one simulation), admission control (bounded concurrency + bounded
+// wait queue, 429 on overflow), per-request timeouts, periodic cache GC and
+// graceful drain-then-GC shutdown. See DESIGN.md "Serving".
+type Server = server.Server
+
+// ServerConfig parametrizes NewServer.
+type ServerConfig = server.Config
+
+// ServerStats is the machine-readable /statsz schema.
+type ServerStats = report.ServerMetric
+
+// NewServer returns a simulation daemon over a fresh suite. Callers must
+// Shutdown the server to stop its background GC loop and run the final
+// cache GC.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Serve runs a simulation daemon on addr until the process ends — the
+// one-line embedding of dvad. For graceful shutdown use NewServer and wire
+// Shutdown yourself (as cmd/dvad does).
+func Serve(addr string, cfg ServerConfig) error {
+	return server.New(cfg).ListenAndServe(addr)
+}
+
+// ServerTable renders the daemon counters as an ASCII table (the shutdown
+// summary companion to CacheTable).
+func ServerTable(st ServerStats) string { return report.ServerTable(st) }
 
 // WriteTraceEvents writes a recorded event stream as a Trace Event Format
 // JSON file loadable in chrome://tracing or Perfetto.

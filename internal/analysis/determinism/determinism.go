@@ -11,10 +11,12 @@
 //     an explicitly seeded rand.New(rand.NewSource(seed)) is fine),
 //   - spawning goroutines (scheduling order is nondeterministic, and the
 //     per-cycle tick/issue paths must stay single-threaded),
-//   - importing the persistent result cache (internal/simcache): the cache
-//     serializes model results, so a model depending on it would invert the
-//     layering — and cached state leaking into a simulation would break
-//     reproducibility in ways no local check could see.
+//   - importing the persistent result cache (internal/simcache) or the
+//     simulation server (internal/server): both sit above the models —
+//     simcache serializes model results and the server schedules runs — so
+//     a model depending on either would invert the layering, and external
+//     state leaking into a simulation would break reproducibility in ways
+//     no local check could see.
 //
 // Concurrency and randomness belong in the packages above the models
 // (experiments, tracegen), which seed and order their work explicitly.
@@ -82,18 +84,26 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkImports flags model packages that import the persistent result cache.
-// The cache depends on the models (it serializes their results); the reverse
-// dependency would be a layering inversion, and any cached state feeding back
-// into a simulation would silently break bit-reproducibility.
+// upperLayers maps package basenames that sit above the models — and must
+// never be imported by them — to the reason the dependency is inverted.
+var upperLayers = map[string]string{
+	"simcache": "the result cache depends on the models, never the reverse",
+	"server":   "the serving layer schedules model runs, never the reverse",
+}
+
+// checkImports flags model packages that import a layer above them (the
+// persistent result cache or the simulation server). Those layers depend on
+// the models; the reverse dependency would be a layering inversion, and any
+// external state feeding back into a simulation would silently break
+// bit-reproducibility.
 func checkImports(pass *analysis.Pass, file *ast.File) {
 	for _, imp := range file.Imports {
 		path, err := strconv.Unquote(imp.Path.Value)
 		if err != nil {
 			continue
 		}
-		if analysis.PathBase(path) == "simcache" {
-			pass.Reportf(imp.Pos(), "model package %s imports %s: the result cache depends on the models, never the reverse", pass.Pkg.Name(), path)
+		if reason, ok := upperLayers[analysis.PathBase(path)]; ok {
+			pass.Reportf(imp.Pos(), "model package %s imports %s: %s", pass.Pkg.Name(), path, reason)
 		}
 	}
 }

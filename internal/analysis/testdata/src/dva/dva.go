@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"server"   // want "model package dva imports server: the serving layer schedules model runs, never the reverse"
 	"simcache" // want "model package dva imports simcache: the result cache depends on the models, never the reverse"
 )
 
@@ -49,6 +50,10 @@ func spawn(ch chan<- int) {
 
 func persist() error {
 	return simcache.Open("/nonexistent")
+}
+
+func serve() error {
+	return server.New()
 }
 
 func suppressed() time.Time {

@@ -1,0 +1,7 @@
+// Package server is a golden fixture standing in for the real simulation
+// daemon package: its basename matches internal/server, so importing it from
+// a model-package fixture must trip the determinism analyzer's layering rule.
+package server
+
+// New mimics the real server constructor.
+func New() error { return nil }

@@ -28,15 +28,9 @@ type AblationResult struct {
 // sweepParam runs the six benchmarks over cfgs (one per value).
 func sweepParam(s *Suite, name string, latency int64, values []int, mk func(v int) sim.Config) (*AblationResult, error) {
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, v := range values {
-		runs = append(runs, struct {
-			arch Arch
-			cfg  sim.Config
-		}{DVA, mk(v)})
+		runs = append(runs, RunSpec{DVA, mk(v)})
 	}
 	if err := s.warm(progs, runs); err != nil {
 		return nil, err

@@ -54,20 +54,11 @@ func Figure7(s *Suite, lats []int64) (*Figure7Result, error) {
 		lats = DefaultLatencies
 	}
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
-		runs = append(runs, struct {
-			arch Arch
-			cfg  sim.Config
-		}{DVA, sim.DefaultConfig(l)})
+		runs = append(runs, RunSpec{DVA, sim.DefaultConfig(l)})
 		for _, bc := range Figure7Configs {
-			runs = append(runs, struct {
-				arch Arch
-				cfg  sim.Config
-			}{DVA, sim.BypassConfig(l, bc.LoadQ, bc.StoreQ)})
+			runs = append(runs, RunSpec{DVA, sim.BypassConfig(l, bc.LoadQ, bc.StoreQ)})
 		}
 	}
 	if err := s.warm(progs, runs); err != nil {
@@ -125,10 +116,7 @@ func Figure8(s *Suite, latency int64) (*Figure8Result, error) {
 		latency = 30
 	}
 	progs := workload.Simulated()
-	runs := []struct {
-		arch Arch
-		cfg  sim.Config
-	}{
+	runs := []RunSpec{
 		{DVA, sim.DefaultConfig(latency)},
 		{DVA, sim.BypassConfig(latency, 256, 16)},
 	}

@@ -35,10 +35,7 @@ func ExtensionConflicts(s *Suite, base int64, jitters []int64) (*ConflictsResult
 		jitters = []int64{0, 30, 60, 120}
 	}
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	mk := func(j int64) sim.Config {
 		cfg := sim.DefaultConfig(base)
 		cfg.LatencyJitter = j
@@ -46,14 +43,8 @@ func ExtensionConflicts(s *Suite, base int64, jitters []int64) (*ConflictsResult
 	}
 	for _, j := range jitters {
 		runs = append(runs,
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{REF, mk(j)},
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{DVA, mk(j)})
+			RunSpec{REF, mk(j)},
+			RunSpec{DVA, mk(j)})
 	}
 	if err := s.warm(progs, runs); err != nil {
 		return nil, err

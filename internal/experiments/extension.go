@@ -42,21 +42,12 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 		lats = []int64{1, 30, 100}
 	}
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
 		cfg := sim.DefaultConfig(l)
 		runs = append(runs,
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{REF, cfg},
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{DVA, cfg})
+			RunSpec{REF, cfg},
+			RunSpec{DVA, cfg})
 	}
 	if err := s.warm(progs, runs); err != nil {
 		return nil, err

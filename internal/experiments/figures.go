@@ -32,15 +32,9 @@ type Figure1Result struct {
 func Figure1(s *Suite) (*Figure1Result, error) {
 	lats := Figure1Latencies
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
-		runs = append(runs, struct {
-			arch Arch
-			cfg  sim.Config
-		}{REF, sim.DefaultConfig(l)})
+		runs = append(runs, RunSpec{REF, sim.DefaultConfig(l)})
 	}
 	if err := s.warm(progs, runs); err != nil {
 		return nil, err
@@ -116,21 +110,12 @@ func Sweep(s *Suite, lats []int64) (*SweepResult, error) {
 		lats = DefaultLatencies
 	}
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
 		cfg := sim.DefaultConfig(l)
 		runs = append(runs,
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{REF, cfg},
-			struct {
-				arch Arch
-				cfg  sim.Config
-			}{DVA, cfg},
+			RunSpec{REF, cfg},
+			RunSpec{DVA, cfg},
 		)
 	}
 	if err := s.warm(progs, runs); err != nil {
@@ -180,15 +165,9 @@ type Figure6Result struct {
 func Figure6(s *Suite) (*Figure6Result, error) {
 	lats := Figure6Latencies
 	progs := workload.Simulated()
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
-		runs = append(runs, struct {
-			arch Arch
-			cfg  sim.Config
-		}{DVA, sim.DefaultConfig(l)})
+		runs = append(runs, RunSpec{DVA, sim.DefaultConfig(l)})
 	}
 	if err := s.warm(progs, runs); err != nil {
 		return nil, err

@@ -40,16 +40,10 @@ func ExtensionPorts(s *Suite, lats []int64) (*PortsResult, error) {
 		cfg.MemPorts = 2
 		return cfg
 	}
-	var runs []struct {
-		arch Arch
-		cfg  sim.Config
-	}
+	var runs []RunSpec
 	for _, l := range lats {
 		for _, cfg := range []sim.Config{oneP(l), bypP(l), twoP(l)} {
-			runs = append(runs, struct {
-				arch Arch
-				cfg  sim.Config
-			}{DVA, cfg})
+			runs = append(runs, RunSpec{DVA, cfg})
 		}
 	}
 	if err := s.warm(progs, runs); err != nil {

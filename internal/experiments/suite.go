@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -44,6 +45,16 @@ const (
 	DVA Arch = "DVA" // the decoupled vector architecture
 )
 
+// Gate admission-controls real simulator invocations. A server attaches one
+// to Suite.Gate to bound concurrent simulations and shed load: Acquire
+// blocks until a slot frees, the context is cancelled, or the gate refuses
+// (overload); release must be called exactly once per successful Acquire.
+// Cache hits and coalesced duplicate requests never touch the gate — only
+// the call that actually runs a simulator pays for a slot.
+type Gate interface {
+	Acquire(ctx context.Context) (release func(), err error)
+}
+
 // Suite runs simulations for the experiment drivers through a two-tier
 // cache: an in-process result map (figures sharing runs — 3, 4 and 5 use
 // identical sweeps — simulate each configuration exactly once, also under
@@ -77,8 +88,15 @@ type Suite struct {
 	// 0 (default) trusts the checksummed store.
 	VerifyFraction float64
 
+	// Gate, when non-nil, admission-controls every real simulator
+	// invocation (never cache hits or coalesced waiters). The dvad server
+	// installs one to bound concurrency and return 429 under overload.
+	// Set it before the first Run.
+	Gate Gate
+
 	runs    flightGroup[suiteKey, *sim.Result]
 	oooRuns flightGroup[oooSuiteKey, *sim.Result]
+	sources flightGroup[sourceKey, *sim.Result]
 	ideals  flightGroup[string, ideal.Bound]
 
 	mu     sync.Mutex
@@ -99,6 +117,15 @@ type oooSuiteKey struct {
 	cfg     ooo.Config
 }
 
+// sourceKey keys runs of arbitrary uploaded traces by content hash — two
+// uploads of identical bytes coalesce exactly like two requests for the
+// same workload.
+type sourceKey struct {
+	hash [32]byte
+	arch Arch
+	cfg  sim.Config
+}
+
 // NewSuite returns an empty suite at the given trace scale.
 func NewSuite(scale float64) *Suite {
 	if scale <= 0 {
@@ -108,6 +135,7 @@ func NewSuite(scale float64) *Suite {
 		Scale:   scale,
 		runs:    newFlightGroup[suiteKey, *sim.Result](),
 		oooRuns: newFlightGroup[oooSuiteKey, *sim.Result](),
+		sources: newFlightGroup[sourceKey, *sim.Result](),
 		ideals:  newFlightGroup[string, ideal.Bound](),
 		hashes:  make(map[string][32]byte),
 	}
@@ -138,18 +166,38 @@ func (s *Suite) countSim() {
 	s.mu.Unlock()
 }
 
+// admit acquires a simulation slot from the gate (a no-op slot when none is
+// installed). Even ungated runs respect an already-cancelled context, so an
+// abandoned request never starts a simulation it no longer wants.
+func (s *Suite) admit(ctx context.Context) (func(), error) {
+	if s.Gate == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+	}
+	return s.Gate.Acquire(ctx)
+}
+
 // Run simulates program p on the given architecture and configuration,
 // returning a cached result when the identical run has been done before —
 // in this process or, with a Disk store attached, in any previous one.
 // Concurrent calls for the same key share a single simulation.
 func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	return s.RunCtx(context.Background(), p, arch, cfg)
+}
+
+// RunCtx is Run honoring context cancellation: a caller that gives up stops
+// waiting immediately (in the admission queue, or on a coalesced in-flight
+// run) without disturbing the computation other callers still want.
+func (s *Suite) RunCtx(ctx context.Context, p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	if s.SlowTick {
 		cfg.SlowTick = true
 	}
 	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
-	return s.runs.do(key, func() (*sim.Result, error) {
-		return s.cachedSimulate(p, string(arch), cfg, "", func() (*sim.Result, error) {
-			return s.simulate(p, arch, cfg)
+	return s.runs.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
+		return s.cachedSimulate(ctx, p, string(arch), cfg, "", func(ctx context.Context) (*sim.Result, error) {
+			return s.simulate(ctx, p, arch, cfg)
 		})
 	})
 }
@@ -157,13 +205,23 @@ func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result
 // RunOOO simulates program p on the out-of-order extension (§8) with the
 // same two-tier caching discipline as Run.
 func (s *Suite) RunOOO(p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
+	return s.RunOOOCtx(context.Background(), p, cfg)
+}
+
+// RunOOOCtx is RunOOO honoring context cancellation.
+func (s *Suite) RunOOOCtx(ctx context.Context, p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
 	if s.SlowTick {
 		cfg.SlowTick = true
 	}
 	key := oooSuiteKey{program: p.Name, cfg: cfg}
-	return s.oooRuns.do(key, func() (*sim.Result, error) {
+	return s.oooRuns.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
 		extra := fmt.Sprintf("window=%d physregs=%d", cfg.Window, cfg.PhysRegs)
-		return s.cachedSimulate(p, "OOO", cfg.Config, extra, func() (*sim.Result, error) {
+		return s.cachedSimulate(ctx, p, "OOO", cfg.Config, extra, func(ctx context.Context) (*sim.Result, error) {
+			release, err := s.admit(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
 			s.countSim()
 			r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
 			if err != nil {
@@ -174,24 +232,55 @@ func (s *Suite) RunOOO(p *workload.Program, cfg ooo.Config) (*sim.Result, error)
 	})
 }
 
-// cachedSimulate is the disk tier: consult the persistent store, fall back
-// to the simulator, persist what it produced. With VerifyFraction > 0 a
-// deterministic sample of hits is re-simulated and byte-compared against the
-// stored encoding; a mismatch is a hard error, never a silent repair.
-func (s *Suite) cachedSimulate(p *workload.Program, arch string, cfg sim.Config, extra string, simulate func() (*sim.Result, error)) (*sim.Result, error) {
+// RunSourceCtx simulates an arbitrary materialized trace (for example one
+// uploaded to the dvad server) on REF or DVA with the full coalescing and
+// two-tier caching discipline: runs are keyed on trace content, so identical
+// uploads share one simulation and one cache entry — the same entry a
+// workload run of the identical trace would use.
+func (s *Suite) RunSourceCtx(ctx context.Context, src *trace.Slice, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	if s.SlowTick {
+		cfg.SlowTick = true
+	}
+	th, err := trace.Hash(src)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hashing trace %s: %w", src.Name(), err)
+	}
+	key := sourceKey{hash: th, arch: arch, cfg: cfg}
+	return s.sources.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
+		simulate := func(ctx context.Context) (*sim.Result, error) {
+			return s.simulateSource(ctx, src, arch, cfg)
+		}
+		if s.Disk == nil {
+			return simulate(ctx)
+		}
+		return s.diskTier(ctx, th, string(arch), cfg, "", src.Name(), simulate)
+	})
+}
+
+// cachedSimulate is the disk tier for workload runs: hash the program's
+// trace (memoized per suite) and delegate to diskTier. A trace that cannot
+// be hashed cannot be keyed, so it simulates uncached.
+func (s *Suite) cachedSimulate(ctx context.Context, p *workload.Program, arch string, cfg sim.Config, extra string, simulate func(context.Context) (*sim.Result, error)) (*sim.Result, error) {
 	if s.Disk == nil {
-		return simulate()
+		return simulate(ctx)
 	}
 	th, err := s.traceHash(p)
 	if err != nil {
-		// A trace that cannot be hashed cannot be keyed; simulate uncached.
-		return simulate()
+		return simulate(ctx)
 	}
+	return s.diskTier(ctx, th, arch, cfg, extra, p.Name, simulate)
+}
+
+// diskTier consults the persistent store, falls back to the simulator, and
+// persists what it produced. With VerifyFraction > 0 a deterministic sample
+// of hits is re-simulated and byte-compared against the stored encoding; a
+// mismatch is a hard error, never a silent repair.
+func (s *Suite) diskTier(ctx context.Context, th [32]byte, arch string, cfg sim.Config, extra, name string, simulate func(context.Context) (*sim.Result, error)) (*sim.Result, error) {
 	key := s.Disk.Key(th, arch, cfg, extra)
 	if r, payload, ok := s.Disk.GetBytes(key); ok {
 		if simcache.VerifySample(key, s.VerifyFraction) {
 			s.Disk.CountVerified()
-			fresh, err := simulate()
+			fresh, err := simulate(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -200,12 +289,12 @@ func (s *Suite) cachedSimulate(p *workload.Program, arch string, cfg sim.Config,
 				return nil, err
 			}
 			if !bytes.Equal(freshBytes, payload) {
-				return nil, fmt.Errorf("experiments: cache verification FAILED for %s %s on %s: stored result differs from re-simulation (key %s…); the store at %s holds results no current model produces — remove it and re-run", arch, cfg.String(), p.Name, key[:16], s.Disk.Dir())
+				return nil, fmt.Errorf("experiments: cache verification FAILED for %s %s on %s: stored result differs from re-simulation (key %s…); the store at %s holds results no current model produces — remove it and re-run", arch, cfg.String(), name, key[:16], s.Disk.Dir())
 			}
 		}
 		return r, nil
 	}
-	r, err := simulate()
+	r, err := simulate(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -234,24 +323,56 @@ func (s *Suite) traceHash(p *workload.Program) ([32]byte, error) {
 	return h, nil
 }
 
-// simulate performs one uncached simulator invocation.
-func (s *Suite) simulate(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+// simulate performs one uncached simulator invocation of a workload program.
+func (s *Suite) simulate(ctx context.Context, p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	s.countSim()
 	tr := p.CachedTrace(s.Scale)
 	var (
-		r   *sim.Result
-		err error
+		r    *sim.Result
+		rerr error
 	)
 	switch arch {
 	case REF:
-		r, err = ref.Run(tr, cfg)
+		r, rerr = ref.Run(tr, cfg)
 	case DVA:
-		r, err = dva.Run(tr, cfg)
+		r, rerr = dva.Run(tr, cfg)
 	default:
 		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
 	}
+	if rerr != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, p.Name, rerr)
+	}
+	return r, nil
+}
+
+// simulateSource performs one uncached simulator invocation of an arbitrary
+// trace.
+func (s *Suite) simulateSource(ctx context.Context, src *trace.Slice, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	release, err := s.admit(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, p.Name, err)
+		return nil, err
+	}
+	defer release()
+	s.countSim()
+	var (
+		r    *sim.Result
+		rerr error
+	)
+	switch arch {
+	case REF:
+		r, rerr = ref.Run(src, cfg)
+	case DVA:
+		r, rerr = dva.Run(src, cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, src.Name(), rerr)
 	}
 	return r, nil
 }
@@ -259,7 +380,7 @@ func (s *Suite) simulate(p *workload.Program, arch Arch, cfg sim.Config) (*sim.R
 // Ideal returns the five-resource lower bound for the program (§5).
 // Concurrent calls for the same program share a single computation.
 func (s *Suite) Ideal(p *workload.Program) ideal.Bound {
-	b, _ := s.ideals.do(p.Name, func() (ideal.Bound, error) {
+	b, _ := s.ideals.do(context.Background(), p.Name, func(context.Context) (ideal.Bound, error) {
 		return ideal.Compute(p.CachedTrace(s.Scale)), nil
 	})
 	return b
@@ -297,32 +418,53 @@ func newFlightGroup[K comparable, V any]() flightGroup[K, V] {
 }
 
 // do returns the cached value for key, joins an in-flight computation, or
-// runs fn itself and publishes the outcome.
-func (g *flightGroup[K, V]) do(key K, fn func() (V, error)) (V, error) {
-	g.mu.Lock()
-	if v, ok := g.cache[key]; ok {
+// runs fn itself and publishes the outcome. Waiting is cancellable: a waiter
+// whose context ends leaves with ctx.Err() while the computation proceeds
+// for the callers that still want it. Conversely, when the computing caller
+// is abandoned (its fn fails with a context error) surviving waiters retry
+// the computation under their own context rather than inheriting a
+// cancellation that was never theirs.
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, fn func(context.Context) (V, error)) (V, error) {
+	for {
+		g.mu.Lock()
+		if v, ok := g.cache[key]; ok {
+			g.mu.Unlock()
+			return v, nil
+		}
+		if c, ok := g.inflight[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if isContextErr(c.err) && ctx.Err() == nil {
+					continue // abandoned winner; retry under our own context
+				}
+				return c.v, c.err
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
+		}
+		c := &flightCall[V]{done: make(chan struct{})}
+		g.inflight[key] = c
 		g.mu.Unlock()
-		return v, nil
-	}
-	if c, ok := g.inflight[key]; ok {
+
+		c.v, c.err = fn(ctx)
+
+		g.mu.Lock()
+		if c.err == nil {
+			g.cache[key] = c.v
+		}
+		delete(g.inflight, key)
 		g.mu.Unlock()
-		<-c.done
+		close(c.done)
 		return c.v, c.err
 	}
-	c := &flightCall[V]{done: make(chan struct{})}
-	g.inflight[key] = c
-	g.mu.Unlock()
+}
 
-	c.v, c.err = fn()
-
-	g.mu.Lock()
-	if c.err == nil {
-		g.cache[key] = c.v
-	}
-	delete(g.inflight, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.v, c.err
+// isContextErr reports whether err stems from context cancellation or
+// deadline expiry.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // parallel runs the jobs across the available CPUs. All jobs run to
@@ -330,6 +472,13 @@ func (g *flightGroup[K, V]) do(key K, fn func() (V, error)) (V, error) {
 // so one failing configuration cannot mask the others. Jobs must be
 // independent; the Suite cache serializes internally.
 func parallel(jobs []func() error) error {
+	return parallelCtx(context.Background(), jobs)
+}
+
+// parallelCtx is parallel with cancellation: once the context ends, jobs not
+// yet started are skipped (in-flight jobs run to completion — simulations
+// are not interruptible mid-run) and the context error joins the aggregate.
+func parallelCtx(ctx context.Context, jobs []func() error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -346,6 +495,9 @@ func parallel(jobs []func() error) error {
 		go func() {
 			defer wg.Done()
 			for job := range ch {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
 				if err := job(); err != nil {
 					mu.Lock()
 					errs = append(errs, err)
@@ -359,19 +511,46 @@ func parallel(jobs []func() error) error {
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
 	return errors.Join(errs...)
 }
 
-// warm pre-runs all (program, arch, cfg) combinations in parallel so the
-// figure drivers can then read everything from cache sequentially. Jobs are
-// submitted longest-expected-first — cost proxied by trace length × memory
-// latency — so the slowest simulations start immediately and the short ones
-// fill the remaining worker capacity, instead of a grid-order tail where one
-// late-submitted long run idles every other CPU.
-func (s *Suite) warm(programs []*workload.Program, runs []struct {
-	arch Arch
-	cfg  sim.Config
-}) error {
+// RunSpec is one (architecture, configuration) cell of a warm grid.
+type RunSpec struct {
+	Arch Arch
+	Cfg  sim.Config
+}
+
+// warm pre-runs all (program, spec) combinations in parallel so the figure
+// drivers can then read everything from cache sequentially.
+func (s *Suite) warm(programs []*workload.Program, runs []RunSpec) error {
+	return s.WarmCtx(context.Background(), programs, runs)
+}
+
+// WarmCtx pre-runs the (program × spec) grid in parallel, honoring context
+// cancellation between jobs; the dvad /v1/sweep endpoint fans its grids
+// through it. Traces are materialized across the CPUs first — generation
+// used to run serially on the caller while every worker idled — then jobs
+// are submitted longest-expected-first, cost proxied by trace length ×
+// memory latency, so the slowest simulations start immediately and the
+// short ones fill the remaining worker capacity, instead of a grid-order
+// tail where one late-submitted long run idles every other CPU.
+func (s *Suite) WarmCtx(ctx context.Context, programs []*workload.Program, runs []RunSpec) error {
+	mats := make([]func() error, len(programs))
+	for i, p := range programs {
+		p := p
+		mats[i] = func() error {
+			p.CachedTrace(s.Scale)
+			return nil
+		}
+	}
+	if err := parallelCtx(ctx, mats); err != nil {
+		return err
+	}
 	type job struct {
 		cost int64
 		run  func() error
@@ -382,9 +561,9 @@ func (s *Suite) warm(programs []*workload.Program, runs []struct {
 		for _, r := range runs {
 			p, r := p, r
 			jobs = append(jobs, job{
-				cost: length * r.cfg.MemLatency,
+				cost: length * r.Cfg.MemLatency,
 				run: func() error {
-					_, err := s.Run(p, r.arch, r.cfg)
+					_, err := s.RunCtx(ctx, p, r.Arch, r.Cfg)
 					return err
 				},
 			})
@@ -395,5 +574,5 @@ func (s *Suite) warm(programs []*workload.Program, runs []struct {
 	for i, j := range jobs {
 		fns[i] = j.run
 	}
-	return parallel(fns)
+	return parallelCtx(ctx, fns)
 }

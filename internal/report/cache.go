@@ -8,8 +8,8 @@ import (
 // table (the `dvabench` end-of-run cache summary).
 func CacheTable(st simcache.Stats) string {
 	t := NewTable("Result cache",
-		"hits", "misses", "corrupt", "evicted", "writes", "verified")
-	t.AddRowf(st.Hits, st.Misses, st.Corrupt, st.Evicted, st.Writes, st.Verified)
+		"hits", "misses", "corrupt", "evicted", "writes", "verified", "orphans")
+	t.AddRowf(st.Hits, st.Misses, st.Corrupt, st.Evicted, st.Writes, st.Verified, st.Orphans)
 	return t.String()
 }
 
@@ -22,6 +22,7 @@ type CacheMetric struct {
 	Evicted  int64 `json:"evicted"`
 	Writes   int64 `json:"writes"`
 	Verified int64 `json:"verified"`
+	Orphans  int64 `json:"orphans"`
 }
 
 // CacheMetricOf converts a counter snapshot.
@@ -33,5 +34,6 @@ func CacheMetricOf(st simcache.Stats) *CacheMetric {
 		Evicted:  st.Evicted,
 		Writes:   st.Writes,
 		Verified: st.Verified,
+		Orphans:  st.Orphans,
 	}
 }

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by the admission gate when every simulation slot
+// is busy and the wait queue is full; handlers translate it to 429.
+var ErrOverloaded = errors.New("server: overloaded: all simulation slots busy and the wait queue is full")
+
+// gate is the admission controller the server installs as the suite's
+// experiments.Gate: a counting semaphore of simulation slots plus a bounded
+// wait queue. Only real simulator invocations pass through it — cache hits
+// and coalesced duplicate requests are answered without ever touching the
+// gate — so its gauges measure genuine simulator pressure.
+type gate struct {
+	sem      chan struct{} // one token per concurrent simulation slot
+	maxQueue int64
+	queued   atomic.Int64 // callers blocked waiting for a slot
+	inflight atomic.Int64 // callers holding a slot
+}
+
+func newGate(maxConcurrent, maxQueue int) *gate {
+	return &gate{sem: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// Acquire claims a simulation slot, waiting in the bounded queue when all
+// slots are busy. It fails fast with ErrOverloaded when the queue is full,
+// and with ctx.Err() when the caller gives up while waiting — a queued
+// request that is abandoned frees its queue position immediately.
+func (g *gate) Acquire(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	select {
+	case g.sem <- struct{}{}:
+	default:
+		if g.queued.Add(1) > g.maxQueue {
+			g.queued.Add(-1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case g.sem <- struct{}{}:
+			g.queued.Add(-1)
+		case <-ctx.Done():
+			g.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	g.inflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.inflight.Add(-1)
+			<-g.sem
+		})
+	}, nil
+}
+
+// InFlight returns the number of simulations currently holding a slot.
+func (g *gate) InFlight() int64 { return g.inflight.Load() }
+
+// Queued returns the number of simulations currently waiting for a slot.
+func (g *gate) Queued() int64 { return g.queued.Load() }

@@ -1,0 +1,614 @@
+// Package server implements dvad, the long-running simulation daemon: an
+// HTTP/JSON front end over an embedded experiments.Suite that turns the
+// one-shot CLI simulator into shared evaluation infrastructure.
+//
+// Endpoints:
+//
+//   - POST /v1/simulate — one (workload or uploaded trace) × arch × config
+//     run, answering the `dvasim -metrics-json` payload.
+//   - POST /v1/sweep — a (program × arch × latency × queue) grid fanned
+//     through the suite's warm machinery, answering compact per-point rows.
+//   - GET  /healthz — liveness.
+//   - GET  /statsz — request counters, admission gauges, simulation count
+//     and cache counters (report.ServerMetric; ?format=table for ASCII).
+//
+// The suite's singleflight tiers are the coalescing unit: a thousand
+// identical concurrent requests perform one simulation, and with a
+// persistent store attached a request already answered in any previous
+// process performs zero. Real simulator invocations — never cache hits or
+// coalesced waiters — pass through an admission gate bounding concurrency
+// and queue depth (429 on overflow). Shutdown drains in-flight work and
+// runs a final cache GC; a periodic GC keeps a long-lived daemon inside its
+// size cap continuously rather than only at exit.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decvec/internal/experiments"
+	"decvec/internal/report"
+	"decvec/internal/sim"
+	"decvec/internal/simcache"
+	"decvec/internal/trace"
+	"decvec/internal/workload"
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	// Scale is the trace scale factor shared by every request (1.0 =
+	// default trace sizes). Requests cannot override it: the scale is part
+	// of the suite's identity, and mixing scales would fragment the cache.
+	Scale float64
+
+	// MaxConcurrent bounds simultaneously running simulations;
+	// 0 = GOMAXPROCS.
+	MaxConcurrent int
+
+	// MaxQueue bounds simulations waiting for a slot; past it the gate
+	// sheds load with 429. 0 = 4×MaxConcurrent.
+	MaxQueue int
+
+	// RequestTimeout caps the wall time of one request (queue wait
+	// included). Expired requests answer 504; a simulation already running
+	// completes and lands in the cache for the retry. 0 = 60s.
+	RequestTimeout time.Duration
+
+	// Store, when non-nil, is the persistent disk tier shared with the CLI
+	// tools. The server owns its lifecycle from here: periodic and
+	// shutdown GC.
+	Store *simcache.Store
+
+	// GCInterval is how often the background GC enforces the store's size
+	// cap; 0 disables periodic GC (the final shutdown GC still runs).
+	GCInterval time.Duration
+
+	// MaxSweepPoints bounds the grid size of one /v1/sweep request.
+	// 0 = 4096.
+	MaxSweepPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
+	return c
+}
+
+// Server is the dvad daemon: an embedded suite, its admission gate, and the
+// HTTP handlers over them.
+type Server struct {
+	cfg   Config
+	suite *experiments.Suite
+	gate  *gate
+	mux   *http.ServeMux
+	start time.Time
+
+	httpSrv atomic.Pointer[http.Server]
+
+	bg     sync.WaitGroup // detached simulations outliving their request
+	stopGC chan struct{}
+	gcWG   sync.WaitGroup
+
+	served, simulateReqs, sweepReqs     atomic.Int64
+	overloaded, timeouts, requestErrors atomic.Int64
+
+	// simHook, when non-nil, runs inside every admitted simulation slot
+	// before the simulator starts. Test seam: lets handler tests hold a
+	// slot open deterministically. Set before serving traffic.
+	simHook func()
+}
+
+// New returns a Server over a fresh suite configured per cfg and starts the
+// periodic GC loop (when an interval and a store are configured). Callers
+// must Shutdown the server to release the loop and run the final GC.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		suite:  experiments.NewSuite(cfg.Scale),
+		gate:   newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		stopGC: make(chan struct{}),
+	}
+	s.suite.Disk = cfg.Store
+	s.suite.Gate = gateWithHook{s: s}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	if cfg.Store != nil && cfg.GCInterval > 0 {
+		s.gcWG.Add(1)
+		go s.gcLoop()
+	}
+	return s
+}
+
+// gateWithHook is the suite-facing gate: the real admission gate plus the
+// test seam that runs while the slot is held.
+type gateWithHook struct{ s *Server }
+
+func (g gateWithHook) Acquire(ctx context.Context) (func(), error) {
+	release, err := g.s.gate.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if g.s.simHook != nil {
+		g.s.simHook()
+	}
+	return release, nil
+}
+
+// Suite exposes the embedded suite (the load harness and tests read its
+// Simulations counter).
+func (s *Server) Suite() *experiments.Suite { return s.suite }
+
+// Handler returns the daemon's HTTP handler (httptest servers mount it
+// directly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// gcLoop periodically enforces the store's size cap so a long-lived daemon
+// respects it continuously, not only at process exit.
+func (s *Server) gcLoop() {
+	defer s.gcWG.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_, _ = s.cfg.Store.GC()
+		case <-s.stopGC:
+			return
+		}
+	}
+}
+
+// ListenAndServe serves the daemon on addr until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, matching net/http.
+func (s *Server) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	s.httpSrv.Store(hs)
+	return hs.ListenAndServe()
+}
+
+// Shutdown gracefully stops the daemon: the listener closes, in-flight
+// requests and detached background simulations drain, the periodic GC loop
+// stops, and — when a store is attached — one final GC enforces the size
+// cap before the process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if hs := s.httpSrv.Swap(nil); hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	s.bg.Wait()
+	select {
+	case <-s.stopGC:
+	default:
+		close(s.stopGC)
+	}
+	s.gcWG.Wait()
+	if s.cfg.Store != nil {
+		if _, gcErr := s.cfg.Store.GC(); gcErr != nil && err == nil {
+			err = gcErr
+		}
+	}
+	return err
+}
+
+// Stats snapshots the server counters in the /statsz schema.
+func (s *Server) Stats() report.ServerMetric {
+	m := report.ServerMetric{
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Served:        s.served.Load(),
+		Simulate:      s.simulateReqs.Load(),
+		Sweep:         s.sweepReqs.Load(),
+		Overloaded:    s.overloaded.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Errors:        s.requestErrors.Load(),
+		InFlight:      s.gate.InFlight(),
+		Queued:        s.gate.Queued(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		MaxQueue:      s.cfg.MaxQueue,
+		Simulations:   s.suite.Simulations(),
+	}
+	if coalesced := m.Served - m.Simulations; coalesced > 0 {
+		m.Coalesced = coalesced
+	}
+	if s.cfg.Store != nil {
+		m.Cache = report.CacheMetricOf(s.cfg.Store.Stats())
+	}
+	return m
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	m := s.Stats()
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report.ServerTable(m))
+		if m.Cache != nil {
+			fmt.Fprint(w, report.CacheTable(s.cfg.Store.Stats()))
+		}
+		return
+	}
+	b, err := report.ServerJSON(m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// maxBodyBytes bounds request bodies; uploaded traces dominate the budget.
+const maxBodyBytes = 64 << 20
+
+// SimulateRequest is the /v1/simulate body: one program (by name) or one
+// uploaded trace (binary trace format, base64), an architecture, and the
+// queue/latency knobs of the CLI.
+type SimulateRequest struct {
+	Program string `json:"program,omitempty"`
+	// Trace is a base64-encoded binary trace (the dvatrace/WriteTrace
+	// format); mutually exclusive with Program. Identical uploads coalesce
+	// by content hash.
+	Trace   []byte `json:"trace,omitempty"`
+	Arch    string `json:"arch"`
+	Latency int64  `json:"latency"`
+	LoadQ   int    `json:"loadq,omitempty"`
+	StoreQ  int    `json:"storeq,omitempty"`
+	IQ      int    `json:"iq,omitempty"`
+	Jitter  int64  `json:"jitter,omitempty"`
+	Bypass  bool   `json:"bypass,omitempty"`
+	// TimeoutMs lowers the server's request timeout for this request; it
+	// can never raise it.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// config materializes the request's sim.Config.
+func (req *SimulateRequest) config() (sim.Config, experiments.Arch, error) {
+	if req.Latency <= 0 {
+		return sim.Config{}, "", fmt.Errorf("latency must be positive, got %d", req.Latency)
+	}
+	cfg := sim.DefaultConfig(req.Latency)
+	if req.LoadQ > 0 {
+		cfg.AVDQSize = req.LoadQ
+	}
+	if req.StoreQ > 0 {
+		cfg.VADQSize = req.StoreQ
+	}
+	if req.IQ > 0 {
+		cfg.IQSize = req.IQ
+	}
+	if req.Jitter > 0 {
+		cfg.LatencyJitter = req.Jitter
+	}
+	if req.Bypass {
+		cfg.Bypass = true
+	}
+	// BYP is DVA with the bypass bit set: canonicalize so the request
+	// shares cache entries and coalescing with the equivalent DVA run.
+	arch := experiments.Arch(strings.ToUpper(req.Arch))
+	if arch == "BYP" {
+		arch = experiments.DVA
+		cfg.Bypass = true
+	}
+	switch arch {
+	case experiments.REF, experiments.DVA:
+		return cfg, arch, nil
+	default:
+		return sim.Config{}, "", fmt.Errorf("unknown architecture %q (want REF, DVA or BYP)", req.Arch)
+	}
+}
+
+// requestContext derives the request's work context: the server timeout,
+// lowered (never raised) by the request's own cap.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMs > 0 {
+		if rd := time.Duration(timeoutMs) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// httpError answers one failed request, classifying the error: gate
+// overflow → 429, expiry → 504, everything else → the given fallback.
+func (s *Server) httpError(w http.ResponseWriter, err error, fallback int) {
+	code := fallback
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+		s.overloaded.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+		s.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; any status is written to a closed
+		// connection. Use 499 (nginx's client-closed-request) for the
+		// access-log trail and count it as neither timeout nor error.
+		code = 499
+	default:
+		s.requestErrors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.requestErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// await runs fn on a tracked goroutine and waits for it or the context.
+// Simulations are not interruptible mid-run, so an expired request answers
+// 504 immediately while the detached run completes and populates the cache
+// for the retry; Shutdown drains these stragglers.
+func (s *Server) await(ctx context.Context, fn func() (*sim.Result, error)) (*sim.Result, error) {
+	type outcome struct {
+		res *sim.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		res, err := fn()
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SimulateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cfg, arch, err := req.config()
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if (req.Program == "") == (len(req.Trace) == 0) {
+		s.badRequest(w, errors.New(`exactly one of "program" and "trace" must be set`))
+		return
+	}
+	var run func(context.Context) (*sim.Result, error)
+	if req.Program != "" {
+		p, err := workload.Get(req.Program)
+		if err != nil {
+			s.badRequest(w, err)
+			return
+		}
+		run = func(ctx context.Context) (*sim.Result, error) {
+			return s.suite.RunCtx(ctx, p, arch, cfg)
+		}
+	} else {
+		src, err := trace.Read(bytes.NewReader(req.Trace))
+		if err != nil {
+			s.badRequest(w, fmt.Errorf("decoding trace: %w", err))
+			return
+		}
+		run = func(ctx context.Context) (*sim.Result, error) {
+			return s.suite.RunSourceCtx(ctx, src, arch, cfg)
+		}
+	}
+	s.simulateReqs.Add(1)
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.await(ctx, func() (*sim.Result, error) { return run(ctx) })
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	var b []byte
+	if s.cfg.Store != nil {
+		b, err = report.MetricsJSONWithCache(res, s.cfg.Store.Stats())
+	} else {
+		b, err = report.MetricsJSON(res)
+	}
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// SweepRequest is the /v1/sweep body: a (program × arch × latency × queue)
+// grid. Empty dimensions take the paper defaults (simulated programs, both
+// architectures, the Figure 3-5 latency sweep, default queues).
+type SweepRequest struct {
+	Programs  []string `json:"programs,omitempty"`
+	Archs     []string `json:"archs,omitempty"`
+	Latencies []int64  `json:"latencies,omitempty"`
+	LoadQs    []int    `json:"loadqs,omitempty"`
+	StoreQs   []int    `json:"storeqs,omitempty"`
+	TimeoutMs int64    `json:"timeoutMs,omitempty"`
+}
+
+// SweepPoint is one cell of the sweep response.
+type SweepPoint struct {
+	Program string  `json:"program"`
+	Arch    string  `json:"arch"`
+	Latency int64   `json:"latency"`
+	LoadQ   int     `json:"loadq"`
+	StoreQ  int     `json:"storeq"`
+	Cycles  int64   `json:"cycles"`
+	IPC     float64 `json:"ipc"`
+}
+
+// SweepResponse is the /v1/sweep payload.
+type SweepResponse struct {
+	Points []SweepPoint `json:"points"`
+	// Simulations is the suite-lifetime count after this sweep; with a
+	// warm cache a large grid adds zero.
+	Simulations int64 `json:"simulations"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SweepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	progs, specs, err := s.sweepGrid(&req)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	s.sweepReqs.Add(1)
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	// Warm the whole grid through the suite's parallel machinery (cost-
+	// sorted, admission-gated), then read every point back from cache.
+	_, err = s.await(ctx, func() (*sim.Result, error) {
+		return nil, s.suite.WarmCtx(ctx, progs, specs)
+	})
+	if err != nil {
+		s.httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	resp := SweepResponse{Points: make([]SweepPoint, 0, len(progs)*len(specs))}
+	for _, p := range progs {
+		for _, spec := range specs {
+			res, err := s.suite.RunCtx(ctx, p, spec.Arch, spec.Cfg)
+			if err != nil {
+				s.httpError(w, err, http.StatusInternalServerError)
+				return
+			}
+			resp.Points = append(resp.Points, SweepPoint{
+				Program: p.Name,
+				Arch:    string(spec.Arch),
+				Latency: spec.Cfg.MemLatency,
+				LoadQ:   spec.Cfg.AVDQSize,
+				StoreQ:  spec.Cfg.VADQSize,
+				Cycles:  res.Cycles,
+				IPC:     res.IPC(),
+			})
+		}
+	}
+	resp.Simulations = s.suite.Simulations()
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// sweepGrid expands a sweep request into its program set and run specs,
+// enforcing the grid-size bound.
+func (s *Server) sweepGrid(req *SweepRequest) ([]*workload.Program, []experiments.RunSpec, error) {
+	var progs []*workload.Program
+	if len(req.Programs) == 0 {
+		progs = workload.Simulated()
+	} else {
+		for _, name := range req.Programs {
+			p, err := workload.Get(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			progs = append(progs, p)
+		}
+	}
+	archs := req.Archs
+	if len(archs) == 0 {
+		archs = []string{"REF", "DVA"}
+	}
+	lats := req.Latencies
+	if len(lats) == 0 {
+		lats = experiments.DefaultLatencies
+	}
+	loadQs := req.LoadQs
+	if len(loadQs) == 0 {
+		loadQs = []int{0}
+	}
+	storeQs := req.StoreQs
+	if len(storeQs) == 0 {
+		storeQs = []int{0}
+	}
+	var specs []experiments.RunSpec
+	for _, a := range archs {
+		arch := experiments.Arch(strings.ToUpper(a))
+		bypass := false
+		if arch == "BYP" {
+			arch = experiments.DVA
+			bypass = true
+		}
+		if arch != experiments.REF && arch != experiments.DVA {
+			return nil, nil, fmt.Errorf("unknown architecture %q (want REF, DVA or BYP)", a)
+		}
+		for _, l := range lats {
+			if l <= 0 {
+				return nil, nil, fmt.Errorf("latency must be positive, got %d", l)
+			}
+			for _, lq := range loadQs {
+				for _, sq := range storeQs {
+					cfg := sim.DefaultConfig(l)
+					if lq > 0 {
+						cfg.AVDQSize = lq
+					}
+					if sq > 0 {
+						cfg.VADQSize = sq
+					}
+					cfg.Bypass = bypass
+					specs = append(specs, experiments.RunSpec{Arch: arch, Cfg: cfg})
+				}
+			}
+		}
+	}
+	if points := len(progs) * len(specs); points > s.cfg.MaxSweepPoints {
+		return nil, nil, fmt.Errorf("sweep grid has %d points, cap is %d", points, s.cfg.MaxSweepPoints)
+	}
+	return progs, specs, nil
+}
+
+// Compile-time checks: the gates satisfy the suite's admission interface.
+var (
+	_ experiments.Gate = (*gate)(nil)
+	_ experiments.Gate = gateWithHook{}
+)

@@ -1,0 +1,531 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decvec/internal/report"
+	"decvec/internal/simcache"
+	"decvec/internal/trace"
+	"decvec/internal/workload"
+)
+
+// testServer returns a small-scale server and its httptest front end.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.05 // keep simulations cheap
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz body = %q", body)
+	}
+}
+
+func TestSimulateWorkload(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "BDNA", Arch: "DVA", Latency: 50,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %s: %s", resp.Status, body)
+	}
+	var m report.Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("response is not the -metrics-json shape: %v", err)
+	}
+	if m.Arch != "DVA" || m.Cycles <= 0 {
+		t.Errorf("metrics = arch %q cycles %d, want DVA with positive cycles", m.Arch, m.Cycles)
+	}
+	if got := srv.Suite().Simulations(); got != 1 {
+		t.Errorf("Simulations() = %d, want 1", got)
+	}
+	// The identical request again: memory-tier hit, no new simulation.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "BDNA", Arch: "DVA", Latency: 50,
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second simulate: %s", resp2.Status)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("identical requests returned different payloads")
+	}
+	if got := srv.Suite().Simulations(); got != 1 {
+		t.Errorf("Simulations() after repeat = %d, want 1 (cache hit)", got)
+	}
+}
+
+func TestSimulateBYPCanonicalizesToDVABypass(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	if resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "ARC2D", Arch: "BYP", Latency: 30,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("BYP simulate: %s: %s", resp.Status, body)
+	}
+	// The explicit DVA+bypass spelling must hit the same memory-tier entry.
+	if resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "ARC2D", Arch: "DVA", Latency: 30, Bypass: true,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DVA+bypass simulate: %s: %s", resp.Status, body)
+	}
+	if got := srv.Suite().Simulations(); got != 1 {
+		t.Errorf("Simulations() = %d, want 1 (BYP and DVA+bypass share a key)", got)
+	}
+}
+
+func TestSimulateUploadedTrace(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	p, err := workload.Get("TRFD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, p.Trace(0.05)); err != nil {
+		t.Fatal(err)
+	}
+	req := SimulateRequest{Trace: buf.Bytes(), Arch: "REF", Latency: 20}
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace simulate: %s: %s", resp.Status, body)
+	}
+	var m report.Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Arch != "REF" || m.Cycles <= 0 {
+		t.Errorf("metrics = arch %q cycles %d", m.Arch, m.Cycles)
+	}
+	// Re-uploading identical bytes coalesces by content hash.
+	if resp, _ := postJSON(t, ts.URL+"/v1/simulate", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second trace simulate: %s", resp.Status)
+	}
+	if got := srv.Suite().Simulations(); got != 1 {
+		t.Errorf("Simulations() = %d, want 1 (identical uploads share a key)", got)
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown program", SimulateRequest{Program: "NOPE", Arch: "DVA", Latency: 50}},
+		{"unknown arch", SimulateRequest{Program: "BDNA", Arch: "VLIW", Latency: 50}},
+		{"no latency", SimulateRequest{Program: "BDNA", Arch: "DVA"}},
+		{"program and trace", SimulateRequest{Program: "BDNA", Trace: []byte("x"), Arch: "DVA", Latency: 50}},
+		{"neither program nor trace", SimulateRequest{Arch: "DVA", Latency: 50}},
+		{"garbage trace", SimulateRequest{Trace: []byte("not a trace"), Arch: "DVA", Latency: 50}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s (body %s), want 400", tc.name, resp.Status, body)
+		}
+	}
+	// Method check.
+	resp, err := http.Get(ts.URL + "/v1/simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/simulate: %s, want 405", resp.Status)
+	}
+}
+
+// TestCoalescing is the tentpole acceptance test: N concurrent identical
+// requests complete with exactly one Simulations() increment. The sim hook
+// holds the single winner inside its simulation slot until every request
+// has been fired, so all N are provably concurrent.
+func TestCoalescing(t *testing.T) {
+	const n = 100
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, ts := testServer(t, Config{MaxConcurrent: 2, MaxQueue: 2 * n})
+	var once sync.Once
+	srv.simHook = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	var okCount, failCount atomic.Int64
+	body, _ := json.Marshal(SimulateRequest{Program: "BDNA", Arch: "DVA", Latency: 50})
+	launched := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			launched <- struct{}{}
+			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failCount.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				okCount.Add(1)
+			} else {
+				failCount.Add(1)
+			}
+		}()
+	}
+	// Wait until the winner is inside its simulation slot and every request
+	// goroutine has launched, then let the simulation finish.
+	<-entered
+	for i := 0; i < n; i++ {
+		<-launched
+	}
+	close(release)
+	wg.Wait()
+
+	if got := okCount.Load(); got != n {
+		t.Errorf("%d/%d requests succeeded (%d failed)", got, n, failCount.Load())
+	}
+	if sims := srv.Suite().Simulations(); sims != 1 {
+		t.Errorf("Simulations() = %d, want 1: %d identical concurrent requests must coalesce", sims, n)
+	}
+	st := srv.Stats()
+	if st.Coalesced < n-1 {
+		t.Errorf("Stats().Coalesced = %d, want >= %d", st.Coalesced, n-1)
+	}
+}
+
+// TestOverloadSheds429 fills the single slot and the whole wait queue with
+// distinct requests, then asserts the next distinct request bounces with
+// 429 without ever reaching a simulator.
+func TestOverloadSheds429(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	srv, ts := testServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	srv.simHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	post := func(lat int64, done chan<- int) {
+		body, _ := json.Marshal(SimulateRequest{Program: "BDNA", Arch: "DVA", Latency: lat})
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}
+
+	// Request 1 occupies the slot (hook admits it and blocks).
+	first := make(chan int, 1)
+	go post(11, first)
+	<-entered
+
+	// Request 2 occupies the single queue position. Poll the gauge until it
+	// is actually queued — the HTTP round trip is asynchronous.
+	second := make(chan int, 1)
+	go post(22, second)
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.gate.Queued() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the wait queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request 3 must shed immediately with 429.
+	third := make(chan int, 1)
+	go post(33, third)
+	if code := <-third; code != http.StatusTooManyRequests {
+		t.Fatalf("third request got %d, want 429", code)
+	}
+	if st := srv.Stats(); st.Overloaded != 1 {
+		t.Errorf("Stats().Overloaded = %d, want 1", st.Overloaded)
+	}
+
+	// Draining the hook lets the held requests finish normally.
+	release <- struct{}{}
+	release <- struct{}{}
+	if code := <-first; code != http.StatusOK {
+		t.Errorf("first request got %d, want 200", code)
+	}
+	if code := <-second; code != http.StatusOK {
+		t.Errorf("second request got %d, want 200", code)
+	}
+}
+
+// TestRequestTimeout expires a request whose simulation slot is held and
+// asserts 504; the detached simulation then completes and lands in the
+// suite cache, so a retry is instant.
+func TestRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := testServer(t, Config{MaxConcurrent: 1, MaxQueue: 4})
+	var block atomic.Bool
+	block.Store(true)
+	srv.simHook = func() {
+		if block.Load() {
+			<-release
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "BDNA", Arch: "DVA", Latency: 50, TimeoutMs: 50,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request: %s (%s), want 504", resp.Status, body)
+	}
+	if st := srv.Stats(); st.Timeouts != 1 {
+		t.Errorf("Stats().Timeouts = %d, want 1", st.Timeouts)
+	}
+
+	// Unblock the detached run; the simulation completes (runs are not
+	// interruptible mid-flight) and lands in the suite cache, so the retry
+	// is served without waiting.
+	block.Store(false)
+	close(release)
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "BDNA", Arch: "DVA", Latency: 50,
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after timeout: %s (%s)", resp2.Status, body2)
+	}
+}
+
+// TestShutdownDrains starts a slow request, shuts the server down mid-run,
+// and asserts the request still completes 200 — graceful shutdown must
+// drain, not kill.
+func TestShutdownDrains(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	cfg := Config{Scale: 0.05, MaxConcurrent: 1, MaxQueue: 1}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var once sync.Once
+	s.simHook = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+
+	status := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(SimulateRequest{Program: "BDNA", Arch: "DVA", Latency: 50})
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			status <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight run, not race past it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if code := <-status; code != http.StatusOK {
+		t.Errorf("in-flight request got %d during graceful shutdown, want 200", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestShutdownRunsFinalGC attaches an over-cap store and asserts Shutdown
+// enforces the cap (the long-lived daemon's exit-path GC).
+func TestShutdownRunsFinalGC(t *testing.T) {
+	store, err := simcache.Open(t.TempDir(), simcache.Options{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Scale: 0.05, Store: store})
+	resp := httptest.NewRecorder()
+	body, _ := json.Marshal(SimulateRequest{Program: "BDNA", Arch: "DVA", Latency: 50})
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+	s.Handler().ServeHTTP(resp, req)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("simulate: %d", resp.Code)
+	}
+	if st := store.Stats(); st.Writes != 1 {
+		t.Fatalf("store writes = %d, want 1", st.Writes)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Evicted != 1 {
+		t.Errorf("store evicted = %d, want 1: Shutdown must run the final GC", st.Evicted)
+	}
+}
+
+func TestStatszAndSweep(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Programs:  []string{"BDNA", "TRFD"},
+		Archs:     []string{"REF", "DVA"},
+		Latencies: []int64{1, 50},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %s: %s", resp.Status, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 8 {
+		t.Fatalf("sweep returned %d points, want 2x2x2 = 8", len(sw.Points))
+	}
+	for _, p := range sw.Points {
+		if p.Cycles <= 0 {
+			t.Errorf("point %+v has nonpositive cycles", p)
+		}
+	}
+	if sw.Simulations != 8 {
+		t.Errorf("sweep Simulations = %d, want 8", sw.Simulations)
+	}
+
+	// statsz reflects the traffic.
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var m report.ServerMetric
+	if err := json.NewDecoder(sresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sweep != 1 || m.Served != 1 || m.Simulations != 8 {
+		t.Errorf("statsz = sweep %d served %d sims %d, want 1/1/8", m.Sweep, m.Served, m.Simulations)
+	}
+	if m.MaxConcurrent != srv.cfg.MaxConcurrent {
+		t.Errorf("statsz maxConcurrent = %d, want %d", m.MaxConcurrent, srv.cfg.MaxConcurrent)
+	}
+
+	// The table rendering works too.
+	tresp, err := http.Get(ts.URL + "/statsz?format=table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	tb, _ := io.ReadAll(tresp.Body)
+	if !strings.Contains(string(tb), "dvad server") {
+		t.Errorf("statsz table rendering missing header: %q", tb)
+	}
+}
+
+func TestSweepGridCap(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSweepPoints: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Programs:  []string{"BDNA"},
+		Archs:     []string{"REF", "DVA"},
+		Latencies: []int64{1, 10, 20},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized sweep: %s (%s), want 400", resp.Status, body)
+	}
+}
+
+// TestPeriodicGC proves a long-lived daemon enforces its cap without any
+// request traffic: an over-cap store shrinks on the ticker alone.
+func TestPeriodicGC(t *testing.T) {
+	dir := t.TempDir()
+	store, err := simcache.Open(dir, simcache.Options{MaxBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Scale: 0.05, Store: store, GCInterval: 10 * time.Millisecond})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	resp := httptest.NewRecorder()
+	body, _ := json.Marshal(SimulateRequest{Program: "TRFD", Arch: "REF", Latency: 10})
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+	s.Handler().ServeHTTP(resp, req)
+	if resp.Code != http.StatusOK {
+		t.Fatalf("simulate: %d", resp.Code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store.Stats().Evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("periodic GC never evicted the over-cap entry")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeTableRendering(t *testing.T) {
+	m := report.ServerMetric{Served: 100, Simulations: 1, Coalesced: 99}
+	out := report.ServerTable(m)
+	for _, want := range []string{"served", "coalesced", "100", "99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ServerTable missing %q:\n%s", want, out)
+		}
+	}
+}

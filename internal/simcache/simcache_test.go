@@ -351,3 +351,62 @@ func TestKeySeparatesInputs(t *testing.T) {
 		t.Error("SlowTick changed the key; fast and slow tick must share entries")
 	}
 }
+
+func TestGCRemovesAgedTempOrphans(t *testing.T) {
+	s := testStore(t, Options{})
+	k := testKey(s, "")
+	if err := s.Put(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Plant two temp files as a crashed writer would leave them: one aged
+	// past the grace period (an orphan), one fresh (an in-flight write).
+	orphan := filepath.Join(s.Dir(), ".put-123456")
+	fresh := filepath.Join(s.Dir(), ".put-654321")
+	for _, p := range []string{orphan, fresh} {
+		if err := os.WriteFile(p, []byte("torn partial entry"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempOrphanGrace)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("GC removed %d files, want 1 (the aged orphan)", removed)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("aged .put-* orphan survived GC")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh .put-* temp file was removed; GC must leave in-flight writes alone")
+	}
+	if st := s.Stats(); st.Orphans != 1 {
+		t.Errorf("Stats.Orphans = %d, want 1", st.Orphans)
+	}
+	// The live entry is untouched and still served.
+	if _, ok := s.Get(k); !ok {
+		t.Error("live entry lost during orphan sweep")
+	}
+}
+
+func TestGCOrphanSweepIgnoresSizeCap(t *testing.T) {
+	// Orphan removal is lifecycle hygiene, not size enforcement: it happens
+	// even when the store is unbounded and under any cap.
+	s := testStore(t, Options{MaxBytes: -1})
+	orphan := filepath.Join(s.Dir(), ".put-unbounded")
+	if err := os.WriteFile(orphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tempOrphanGrace)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s.GC(); err != nil || removed != 1 {
+		t.Errorf("GC on unbounded store: removed %d err %v, want 1 orphan removed", removed, err)
+	}
+}

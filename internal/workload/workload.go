@@ -75,23 +75,33 @@ func (p *Program) Trace(scale float64) *trace.Slice {
 // cache hashes each trace once per process.
 var (
 	cacheMu    sync.Mutex
-	cache      = map[string]*trace.Slice{}
+	cache      = map[string]*traceEntry{}
 	statsCache = map[string]*trace.Stats{}
 	hashCache  = map[string][32]byte{}
 )
+
+// traceEntry memoizes one (program, scale) trace. Generation runs inside the
+// entry's once, outside the map lock, so different programs materialize
+// concurrently while duplicate requests for one key still generate exactly
+// once (Suite.WarmCtx fans materialization across the CPUs at cold start).
+type traceEntry struct {
+	once sync.Once
+	t    *trace.Slice
+}
 
 // CachedTrace is Trace with memoization; the returned Slice must be treated
 // as read-only (trace sources are replayable, so simulators never mutate).
 func (p *Program) CachedTrace(scale float64) *trace.Slice {
 	key := fmt.Sprintf("%s@%g", p.Name, scale)
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if t, ok := cache[key]; ok {
-		return t
+	e, ok := cache[key]
+	if !ok {
+		e = &traceEntry{}
+		cache[key] = e
 	}
-	t := p.Trace(scale)
-	cache[key] = t
-	return t
+	cacheMu.Unlock()
+	e.once.Do(func() { e.t = p.Trace(scale) })
+	return e.t
 }
 
 // CachedStats returns the trace statistics at the given scale, collected at

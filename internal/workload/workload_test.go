@@ -2,9 +2,12 @@ package workload
 
 import (
 	"math"
+	"sync"
 	"testing"
+	"time"
 
 	"decvec/internal/trace"
+	"decvec/internal/tracegen"
 )
 
 func TestThirteenPrograms(t *testing.T) {
@@ -178,4 +181,47 @@ func TestSeedForIsStable(t *testing.T) {
 	if seedFor("BDNA") == seedFor("TRFD") {
 		t.Error("different names share a seed")
 	}
+}
+
+// TestCachedTraceGeneratesConcurrently pins the materialization fix of the
+// warm() cold-start path: trace generation for different programs must not
+// serialize on the global cache lock. The two fixture builds rendezvous —
+// each waits until the other is also mid-generation — so this test
+// deadlocks (and fails on the watchdog) if generation ever moves back
+// under cacheMu.
+func TestCachedTraceGeneratesConcurrently(t *testing.T) {
+	arrive := make(chan string, 2)
+	release := make(chan struct{})
+	mk := func(name string) *Program {
+		return &Program{
+			Name:        name,
+			Description: "concurrency fixture",
+			build: func(b *tracegen.Builder, u int) {
+				arrive <- name
+				<-release
+			},
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for _, p := range []*Program{mk("conc-fixture-a"), mk("conc-fixture-b")} {
+			wg.Add(1)
+			go func(p *Program) {
+				defer wg.Done()
+				p.CachedTrace(1)
+			}(p)
+		}
+		wg.Wait()
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-arrive:
+		case <-time.After(10 * time.Second):
+			t.Fatal("only one trace generation in flight: CachedTrace serializes generation under the global cache lock")
+		}
+	}
+	close(release)
+	<-done
 }
