@@ -5,21 +5,37 @@
 //
 //	go run ./cmd/declint ./...
 //	go run ./cmd/declint -list
-//	go run ./cmd/declint internal/dva internal/ref
+//	go run ./cmd/declint -json internal/dva internal/ref
 //
-// It exits 0 when the tree is clean, 1 when diagnostics were reported and 2
-// on load errors. See DESIGN.md ("Checked invariants") for the analyzers and
-// the // declint: escape-hatch syntax.
+// Exit-code contract (stable; CI and editor integrations rely on it):
+//
+//	0  the tree is clean
+//	1  one or more diagnostics were reported
+//	2  the analysis itself failed (unresolvable patterns, parse or
+//	   type-check errors, bad flags)
+//
+// In the default text mode each diagnostic is one line,
+// "file:line:col: analyzer: message", with the file path relative to the
+// module root — the format .github/declint-problem-matcher.json teaches
+// GitHub Actions to annotate. With -json the diagnostics are emitted as a
+// single JSON object on stdout instead. See DESIGN.md ("Checked
+// invariants") for the analyzers and the // declint: escape-hatch syntax.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"decvec/internal/analysis"
+	"decvec/internal/analysis/concdiscipline"
+	"decvec/internal/analysis/ctxdiscipline"
 	"decvec/internal/analysis/determinism"
 	"decvec/internal/analysis/exhaustive"
+	"decvec/internal/analysis/hotalloc"
+	"decvec/internal/analysis/layerdag"
 	"decvec/internal/analysis/queuediscipline"
 	"decvec/internal/analysis/recorderhygiene"
 )
@@ -30,14 +46,35 @@ func analyzers() []*analysis.Analyzer {
 		determinism.Analyzer,
 		queuediscipline.Analyzer,
 		recorderhygiene.Analyzer,
+		layerdag.Analyzer,
+		ctxdiscipline.Analyzer,
+		concdiscipline.Analyzer,
+		hotalloc.Analyzer,
 	}
+}
+
+// finding is the machine-readable form of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Findings []finding `json:"findings"`
+	Count    int       `json:"count"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON document instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: declint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: declint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the simulator-invariant analyzers over the module.\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Exits 0 when clean, 1 on diagnostics, 2 on analysis errors.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,37 +88,64 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	if err := run(patterns); err != nil {
+	violations, err := run(patterns, *jsonOut)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "declint:", err)
 		os.Exit(2)
 	}
+	if violations > 0 {
+		os.Exit(1)
+	}
 }
 
-func run(patterns []string) error {
+// run loads the packages, applies every analyzer and prints the surviving
+// diagnostics; it returns how many there were.
+func run(patterns []string, jsonOut bool) (int, error) {
 	wd, err := os.Getwd()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	modPath, modDir, err := analysis.ModuleInfo(wd)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	loader := analysis.NewLoader(modPath, modDir)
 	pkgs, err := loader.LoadPatterns(patterns)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	diags, err := analysis.Run(analyzers(), pkgs)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	findings := make([]finding, 0, len(diags))
 	for _, d := range diags {
 		pos := loader.Fset.Position(d.Pos)
-		fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		file := pos.Filename
+		if rel, err := filepath.Rel(modDir, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		findings = append(findings, finding{
+			File:     file,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Printf("declint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Findings: findings, Count: len(findings)}); err != nil {
+			return 0, err
+		}
+		return len(findings), nil
 	}
-	return nil
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("declint: %d violation(s)\n", len(findings))
+	}
+	return len(findings), nil
 }

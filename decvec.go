@@ -18,6 +18,7 @@ package decvec
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -373,107 +374,107 @@ func ExperimentNames() []string {
 	return names
 }
 
-var experimentRunners = map[string]func(s *experiments.Suite) (string, error){
-	"table1": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Table1(s)
+var experimentRunners = map[string]func(ctx context.Context, s *experiments.Suite) (string, error){
+	"table1": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Table1(ctx, s)
 		if err != nil {
 			return "", err
 		}
 		return report.Table1(r), nil
 	},
-	"fig1": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Figure1(s)
+	"fig1": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure1(ctx, s)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure1(r), nil
 	},
-	"fig3": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Sweep(s, nil)
+	"fig3": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure3(r), nil
 	},
-	"fig4": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Sweep(s, nil)
+	"fig4": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure4(r), nil
 	},
-	"fig5": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Sweep(s, nil)
+	"fig5": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Sweep(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure5(r), nil
 	},
-	"fig6": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Figure6(s)
+	"fig6": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure6(ctx, s)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure6(r), nil
 	},
-	"fig7": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Figure7(s, nil)
+	"fig7": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure7(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure7(r), nil
 	},
-	"fig8": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.Figure8(s, 30)
+	"fig8": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.Figure8(ctx, s, 30)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure8(r), nil
 	},
-	"extension-conflicts": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.ExtensionConflicts(s, 20, nil)
+	"extension-conflicts": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionConflicts(ctx, s, 20, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.ExtensionConflicts(r), nil
 	},
-	"extension-ports": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.ExtensionPorts(s, nil)
+	"extension-ports": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionPorts(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.ExtensionPorts(r), nil
 	},
-	"extension-ooo": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.ExtensionOOO(s, nil)
+	"extension-ooo": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.ExtensionOOO(ctx, s, nil)
 		if err != nil {
 			return "", err
 		}
 		return report.ExtensionOOO(r), nil
 	},
-	"ablation-iq": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.AblationIQ(s, 50)
+	"ablation-iq": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationIQ(ctx, s, 50)
 		if err != nil {
 			return "", err
 		}
 		return report.Ablation(r), nil
 	},
-	"ablation-vsq": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.AblationVSQ(s, 50)
+	"ablation-vsq": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationVSQ(ctx, s, 50)
 		if err != nil {
 			return "", err
 		}
 		return report.Ablation(r), nil
 	},
-	"ablation-avdq": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.AblationAVDQ(s, 50)
+	"ablation-avdq": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationAVDQ(ctx, s, 50)
 		if err != nil {
 			return "", err
 		}
 		return report.Ablation(r), nil
 	},
-	"ablation-qmov": func(s *experiments.Suite) (string, error) {
-		r, err := experiments.AblationQMov(s, 50)
+	"ablation-qmov": func(ctx context.Context, s *experiments.Suite) (string, error) {
+		r, err := experiments.AblationQMov(ctx, s, 50)
 		if err != nil {
 			return "", err
 		}
@@ -483,8 +484,8 @@ var experimentRunners = map[string]func(s *experiments.Suite) (string, error){
 
 // RunExperiment regenerates one paper experiment by name (see
 // ExperimentNames) at the given trace scale and returns the rendered
-// report. A shared suite may be passed to reuse simulation results across
-// experiments; pass nil for a fresh one.
+// report. It is the facade convenience over RunExperimentCtx with a fresh
+// suite and the process root context.
 func RunExperiment(name string, scale float64) (string, error) {
 	return RunExperimentWithSuite(NewSuite(scale), name)
 }
@@ -497,9 +498,16 @@ func NewSuite(scale float64) *Suite { return experiments.NewSuite(scale) }
 
 // RunExperimentWithSuite is RunExperiment against a shared suite.
 func RunExperimentWithSuite(s *Suite, name string) (string, error) {
+	return RunExperimentCtx(context.Background(), s, name)
+}
+
+// RunExperimentCtx regenerates one paper experiment against a shared
+// suite, honoring context cancellation: every simulation, warm fan-out and
+// coalesced wait underneath threads ctx end-to-end.
+func RunExperimentCtx(ctx context.Context, s *Suite, name string) (string, error) {
 	fn, ok := experimentRunners[name]
 	if !ok {
 		return "", fmt.Errorf("decvec: unknown experiment %q (have %v)", name, ExperimentNames())
 	}
-	return fn(s)
+	return fn(ctx, s)
 }

@@ -1,0 +1,448 @@
+// Package concdiscipline implements the declint analyzer that polices the
+// concurrent layers (internal/server, internal/experiments):
+//
+//   - a sync.Mutex/RWMutex must not be held across a channel send, a
+//     channel receive, a select without a default clause, or a
+//     WaitGroup/Cond Wait — the classic shape of a lock-ordering deadlock
+//     (the suite's flightGroup deliberately unlocks before it selects);
+//   - a go statement must have a tracked lifecycle: either the immediately
+//     preceding statement performs a WaitGroup.Add, or the goroutine body
+//     itself defers a WaitGroup.Done (the server's detached-run registry
+//     pattern). Fire-and-forget goroutines leak past graceful drain;
+//   - a numeric field of a struct that carries its own mutex (a guarded
+//     counter, like Suite.sims under Suite.mu) must only be mutated while
+//     a lock on the same receiver is held. Methods whose name ends in
+//     "Locked" document a caller-holds-the-lock contract and are exempt,
+//     as are mutations of objects created locally in the same function.
+//
+// The analysis is a straight-line approximation: held-lock state flows
+// through sequential statements and into nested blocks, and resets at
+// function-literal boundaries (a closure generally runs on another
+// goroutine). It has no interprocedural view — which is exactly why the
+// repository keeps lock regions short and local.
+package concdiscipline
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"decvec/internal/analysis"
+)
+
+// concurrentPackages is the set of package basenames the analyzer polices.
+var concurrentPackages = map[string]bool{
+	"server":      true,
+	"experiments": true,
+}
+
+// Analyzer is the concurrency-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "concdiscipline",
+	Doc:  "no mutex held across channel ops or Wait, no untracked goroutines, no guarded counter mutated outside its lock",
+	Applies: func(path string) bool {
+		return concurrentPackages[analysis.PathBase(path)]
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc := &scanner{
+				pass:      pass,
+				held:      map[string]bool{},
+				body:      fd.Body,
+				lockedFn:  strings.HasSuffix(fd.Name.Name, "Locked"),
+				emptyFset: token.NewFileSet(),
+			}
+			sc.block(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// scanner walks one function body with straight-line held-lock state.
+type scanner struct {
+	pass *analysis.Pass
+	// held maps the printed lock expression ("s.mu") to true while a Lock
+	// or RLock on it is live in the current statement sequence.
+	held map[string]bool
+	// body is the enclosing function body, used to recognize locally
+	// created objects (their mutations need no lock yet).
+	body *ast.BlockStmt
+	// lockedFn is true for *Locked methods, which document that the caller
+	// holds the receiver's lock.
+	lockedFn  bool
+	emptyFset *token.FileSet
+}
+
+// exprString renders an expression for held-set keys and diagnostics.
+func (sc *scanner) exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, sc.emptyFset, e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}
+
+// fork returns a scanner sharing the reporting state but with a copied
+// held set, for nested blocks whose effects must not leak outward.
+func (sc *scanner) fork() *scanner {
+	held := make(map[string]bool, len(sc.held))
+	for k := range sc.held {
+		held[k] = true
+	}
+	return &scanner{pass: sc.pass, held: held, body: sc.body, lockedFn: sc.lockedFn, emptyFset: sc.emptyFset}
+}
+
+// fresh returns a scanner with no held locks, for function literals (which
+// typically run on another goroutine or after the region ends).
+func (sc *scanner) fresh(body *ast.BlockStmt) *scanner {
+	return &scanner{pass: sc.pass, held: map[string]bool{}, body: body, emptyFset: sc.emptyFset}
+}
+
+func (sc *scanner) anyHeld() (string, bool) {
+	for k := range sc.held {
+		return k, true
+	}
+	return "", false
+}
+
+func (sc *scanner) block(stmts []ast.Stmt) {
+	var prev ast.Stmt
+	for _, s := range stmts {
+		sc.stmt(s, prev)
+		prev = s
+	}
+}
+
+func (sc *scanner) stmt(s ast.Stmt, prev ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if base, kind := sc.lockOp(s.X); kind != "" {
+			switch kind {
+			case "lock":
+				sc.held[base] = true
+			case "unlock":
+				delete(sc.held, base)
+			}
+			return
+		}
+		sc.expr(s.X)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the lock held until return; it is not a
+		// release point for the straight-line scan. Other deferred calls
+		// run at return, outside the region — scan only their arguments.
+		if _, kind := sc.lockOp(s.Call); kind != "" {
+			return
+		}
+		for _, arg := range s.Call.Args {
+			sc.expr(arg)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sc.fresh(lit.Body).block(lit.Body.List)
+		}
+	case *ast.SendStmt:
+		if lock, held := sc.anyHeld(); held {
+			sc.pass.Reportf(s.Pos(), "mutex %s held across channel send: unlock before communicating", lock)
+		}
+		sc.expr(s.Chan)
+		sc.expr(s.Value)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if lock, held := sc.anyHeld(); held && !hasDefault {
+			sc.pass.Reportf(s.Pos(), "mutex %s held across blocking select: unlock before communicating", lock)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sc.fork().block(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		sc.checkGo(s, prev)
+		for _, arg := range s.Call.Args {
+			sc.expr(arg)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sc.fresh(lit.Body).block(lit.Body.List)
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			sc.checkCounter(s.Pos(), lhs, s.Tok)
+		}
+		for _, e := range append(append([]ast.Expr{}, s.Lhs...), s.Rhs...) {
+			sc.expr(e)
+		}
+	case *ast.IncDecStmt:
+		sc.checkCounter(s.Pos(), s.X, s.Tok)
+		sc.expr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init, nil)
+		}
+		sc.expr(s.Cond)
+		sc.fork().block(s.Body.List)
+		if s.Else != nil {
+			sc.fork().stmt(s.Else, nil)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init, nil)
+		}
+		sc.expr(s.Cond)
+		sc.fork().block(s.Body.List)
+	case *ast.RangeStmt:
+		sc.expr(s.X)
+		sc.fork().block(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sc.stmt(s.Init, nil)
+		}
+		sc.expr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.fork().block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sc.fork().block(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		sc.fork().block(s.List)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			sc.expr(e)
+		}
+	case *ast.DeclStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			sc.stmt(ls.Stmt, prev)
+		}
+	default:
+	}
+}
+
+// expr inspects one expression for channel receives, Wait calls and nested
+// function literals. Nested literals are scanned with an empty held set.
+func (sc *scanner) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sc.fresh(n.Body).block(n.Body.List)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if lock, held := sc.anyHeld(); held {
+					sc.pass.Reportf(n.Pos(), "mutex %s held across channel receive: unlock before communicating", lock)
+				}
+			}
+		case *ast.CallExpr:
+			if recv, ok := sc.waitCall(n); ok {
+				if lock, held := sc.anyHeld(); held {
+					sc.pass.Reportf(n.Pos(), "mutex %s held across %s.Wait: unlock before blocking", lock, recv)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies e as a Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") call on a sync.Mutex or sync.RWMutex and returns the printed
+// receiver expression as the held-set key.
+func (sc *scanner) lockOp(e ast.Expr) (base, kind string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return "", ""
+	}
+	if !isSyncType(sc.pass.TypeOf(sel.X), "Mutex", "RWMutex") {
+		return "", ""
+	}
+	return sc.exprString(sel.X), kind
+}
+
+// waitCall reports whether call is a Wait on a sync.WaitGroup or sync.Cond.
+func (sc *scanner) waitCall(call *ast.CallExpr) (recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Wait" {
+		return "", false
+	}
+	if !isSyncType(sc.pass.TypeOf(sel.X), "WaitGroup", "Cond") {
+		return "", false
+	}
+	return sc.exprString(sel.X), true
+}
+
+// checkGo flags goroutines without a tracked lifecycle: the statement
+// immediately before must Add on a WaitGroup, or the goroutine body must
+// defer a WaitGroup.Done.
+func (sc *scanner) checkGo(gs *ast.GoStmt, prev ast.Stmt) {
+	if prev != nil && sc.hasWaitGroupCall(prev, "Add") {
+		return
+	}
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		for _, st := range lit.Body.List {
+			if d, isDefer := st.(*ast.DeferStmt); isDefer && sc.isWaitGroupCall(d.Call, "Done") {
+				return
+			}
+		}
+	}
+	sc.pass.Reportf(gs.Pos(),
+		"goroutine has no tracked lifecycle: precede it with a WaitGroup.Add or defer Done inside the goroutine so shutdown can join it")
+}
+
+func (sc *scanner) hasWaitGroupCall(n ast.Node, method string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && sc.isWaitGroupCall(call, method) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (sc *scanner) isWaitGroupCall(call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return isSyncType(sc.pass.TypeOf(sel.X), "WaitGroup")
+}
+
+// checkCounter flags mutations of numeric fields whose owning struct
+// carries a mutex, outside a held lock on the same owner.
+func (sc *scanner) checkCounter(pos token.Pos, lhs ast.Expr, tok token.Token) {
+	if sc.lockedFn {
+		return
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// The mutated field must be numeric.
+	ft := sc.pass.TypeOf(sel)
+	if ft == nil {
+		return
+	}
+	basic, ok := ft.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsNumeric == 0 {
+		return
+	}
+	// The owner struct must carry a mutex field.
+	muName, ok := mutexFieldOf(sc.pass.TypeOf(sel.X))
+	if !ok {
+		return
+	}
+	owner := sc.exprString(sel.X)
+	for lock := range sc.held {
+		if lock == owner+"."+muName || strings.HasPrefix(lock, owner+".") {
+			return
+		}
+	}
+	// Freshly constructed local objects are not shared yet.
+	if root := rootIdent(sel.X); root != nil {
+		if obj, isVar := sc.pass.Info.Uses[root].(*types.Var); isVar && sc.body != nil &&
+			obj.Pos() >= sc.body.Pos() && obj.Pos() < sc.body.End() {
+			return
+		}
+	}
+	sc.pass.Reportf(pos, "guarded counter %s.%s mutated without holding %s.%s", owner, sel.Sel.Name, owner, muName)
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mutexFieldOf returns the name of the first sync.Mutex/RWMutex field of
+// the (possibly pointer-to) struct type t.
+func mutexFieldOf(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isSyncType(f.Type(), "Mutex", "RWMutex") {
+			return f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// isSyncType reports whether t (or its pointee) is one of the named
+// sync-package types.
+func isSyncType(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

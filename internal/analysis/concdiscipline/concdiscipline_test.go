@@ -1,0 +1,12 @@
+package concdiscipline_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/concdiscipline"
+)
+
+func TestConcDiscipline(t *testing.T) {
+	analysis.RunTest(t, "../testdata", concdiscipline.Analyzer, "concd/server")
+}

@@ -1,0 +1,13 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/ctxdiscipline"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysis.RunTest(t, "../testdata", ctxdiscipline.Analyzer,
+		"ctxd/inner", "ctxd/cmd/tool")
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysis.RunTest(t, "../testdata", hotalloc.Analyzer, "hot/dva")
+}

@@ -1,0 +1,13 @@
+package layerdag_test
+
+import (
+	"testing"
+
+	"decvec/internal/analysis"
+	"decvec/internal/analysis/layerdag"
+)
+
+func TestLayerDAG(t *testing.T) {
+	analysis.RunTest(t, "../testdata", layerdag.Analyzer,
+		"layers/isa", "layers/server", "layers/sim", "layers/dva", "layers/mystery")
+}

@@ -1,0 +1,127 @@
+// Package server is a concdiscipline fixture: its basename places it in
+// the policed concurrent layer.
+package server
+
+import "sync"
+
+// S is a shared object with a guarded counter, a channel and a WaitGroup.
+type S struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// plain has no mutex field; its counters are exempt.
+type plain struct {
+	n int
+}
+
+func (s *S) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want "mutex s.mu held across channel send"
+	s.mu.Unlock()
+}
+
+func (s *S) badDeferredReceive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want "mutex s.mu held across channel receive"
+}
+
+func (s *S) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "mutex s.mu held across blocking select"
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+}
+
+func (s *S) badWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want "mutex s.mu held across s.wg.Wait"
+}
+
+// goodSend unlocks before communicating.
+func (s *S) goodSend() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+// goodNonBlockingSelect has a default clause, so the lock never blocks it.
+func (s *S) goodNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 3:
+	default:
+	}
+}
+
+func (s *S) badGo() {
+	go func() { // want "goroutine has no tracked lifecycle"
+		s.ch <- 1
+	}()
+}
+
+// goodGoAdd pairs the goroutine with a preceding WaitGroup.Add.
+func (s *S) goodGoAdd() {
+	s.wg.Add(1)
+	go s.drain()
+}
+
+// goodGoDone tracks its lifecycle by deferring Done inside the body.
+func (s *S) goodGoDone() {
+	go func() {
+		defer s.wg.Done()
+		s.drain()
+	}()
+}
+
+// allowedGo shows the suppression escape hatch.
+func (s *S) allowedGo() {
+	go s.drain() // declint:allow concdiscipline — fixture: detached run registered elsewhere
+}
+
+func (s *S) drain() {
+	for range s.ch {
+	}
+	s.wg.Done()
+}
+
+func (s *S) badCounter() {
+	s.n++ // want "guarded counter s.n mutated without holding s.mu"
+}
+
+func (s *S) badCounterAssign() {
+	s.n += 2 // want "guarded counter s.n mutated without holding s.mu"
+}
+
+// goodCounter mutates under the lock.
+func (s *S) goodCounter() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// bumpLocked documents a caller-holds-the-lock contract via its name.
+func (s *S) bumpLocked() {
+	s.n++
+}
+
+// goodLocal mutates an object that has not escaped yet.
+func goodLocal() *S {
+	s := &S{ch: make(chan int)}
+	s.n = 1
+	return s
+}
+
+// goodPlain mutates a counter on a struct without a mutex; out of scope.
+func goodPlain(p *plain) {
+	p.n++
+}

@@ -1,0 +1,11 @@
+// Package tool is a ctxdiscipline fixture for an entry-layer package: the
+// cmd/ segment in its import path licenses minting root contexts.
+package tool
+
+import "context"
+
+// Main mints the process root context; legal in cmd/*.
+func Main() error {
+	ctx := context.Background()
+	return ctx.Err()
+}

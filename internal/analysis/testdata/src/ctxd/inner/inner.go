@@ -1,0 +1,57 @@
+// Package inner is a ctxdiscipline fixture for a policed (non-entry)
+// package: nested under ctxd/ it is neither the module facade nor cmd/*.
+package inner
+
+import "context"
+
+// Good propagates its context; first position, used in the body.
+func Good(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// Misplaced takes ctx in second position.
+func Misplaced(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return work(ctx, n)
+}
+
+// Dropped accepts a context and never uses it.
+func Dropped(ctx context.Context, n int) int { // want "context parameter ctx is dropped"
+	return n + 1
+}
+
+// Blank opts out of propagation explicitly; no diagnostic.
+func Blank(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Mint severs the caller's cancellation with a fresh root context.
+func Mint(n int) error {
+	return work(context.Background(), n) // want "context.Background outside the entry layers"
+}
+
+// Todo is the same violation via the other constructor.
+func Todo(n int) error {
+	return work(context.TODO(), n) // want "context.TODO outside the entry layers"
+}
+
+// Suppressed shows the allow-directive escape hatch.
+func Suppressed(n int) error {
+	return work(context.Background(), n) // declint:allow ctxdiscipline — fixture: detached audit task outlives the request
+}
+
+// LitMisplaced checks that function literals are policed too.
+var LitMisplaced = func(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return work(ctx, n)
+}
+
+// Iface checks interface method signatures.
+type Iface interface {
+	Run(n int, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+func work(ctx context.Context, n int) error {
+	if n < 0 {
+		<-ctx.Done()
+	}
+	return ctx.Err()
+}

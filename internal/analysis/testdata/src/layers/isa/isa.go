@@ -1,0 +1,6 @@
+// Package isa is a layerdag fixture leaf: basename isa classifies into the
+// model layer, which everything above may import.
+package isa
+
+// Opcode is a trivial exported symbol so importers have something to use.
+type Opcode int

@@ -1,0 +1,6 @@
+// Package mystery is a layerdag fixture with a basename no layer claims;
+// the analyzer must demand a DAG assignment before the package is wired in.
+package mystery // want "package layers/mystery is not assigned to any layer"
+
+// Hidden exists so importers can reference the package.
+const Hidden = 42

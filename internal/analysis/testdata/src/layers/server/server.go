@@ -1,0 +1,12 @@
+// Package server is a layerdag fixture for the serving layer: importing
+// the model layer is fine; nothing below serving may import it back.
+package server
+
+import (
+	"layers/isa"
+)
+
+// Serve uses the model layer, a legal serving→model edge.
+func Serve(op isa.Opcode) int {
+	return int(op)
+}

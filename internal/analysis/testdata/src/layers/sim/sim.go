@@ -1,0 +1,14 @@
+// Package sim is a layerdag fixture for the model layer. Its import of the
+// serving layer is the inversion the analyzer exists to reject: model code
+// must never depend on the machinery that schedules it.
+package sim
+
+import (
+	"layers/isa"
+	"layers/server" // want "package layers/sim .layer model. imports layers/server .layer serving.: model may import only model"
+)
+
+// Cycles exercises both imports.
+func Cycles(op isa.Opcode) int {
+	return server.Serve(op)
+}

@@ -25,6 +25,7 @@ type Range struct {
 
 // RangeOf computes the memory range accessed by a memory instruction.
 // It panics if the instruction is not a memory access.
+// declint:hotpath
 func RangeOf(in *isa.Inst) Range {
 	switch in.Class {
 	case isa.ClassGather, isa.ClassScatter:
@@ -79,6 +80,7 @@ func (r Range) String() string {
 // store, i.e. same base address, same effective element sequence (length and
 // stride) and both strided accesses. Only identical pairs are eligible for
 // the VADQ->AVDQ bypass of §7; gathers/scatters never are.
+// declint:hotpath
 func Identical(load, store *isa.Inst) bool {
 	if load.Class != isa.ClassVectorLoad || store.Class != isa.ClassVectorStore {
 		return false
@@ -116,6 +118,7 @@ type Conflict struct {
 // Check disambiguates a load (scalar or vector) against the pending stores
 // of both store address queues. The stores slice may be in any order; the
 // decision depends only on range overlap and sequence numbers.
+// declint:hotpath
 func Check(load *isa.Inst, stores []PendingStore) Conflict {
 	c := Conflict{YoungestSeq: -1, BypassSeq: -1}
 	lr := RangeOf(load)

@@ -242,6 +242,7 @@ func (m *machine) deadlockWindow() int64 {
 
 func (m *machine) progress() { m.lastProgress = m.now }
 
+// declint:hotpath
 func (m *machine) run() error {
 	window := m.deadlockWindow()
 	fast := !m.cfg.SlowTick

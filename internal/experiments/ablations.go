@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/sim"
 	"decvec/internal/workload"
 )
@@ -26,20 +28,20 @@ type AblationResult struct {
 }
 
 // sweepParam runs the six benchmarks over cfgs (one per value).
-func sweepParam(s *Suite, name string, latency int64, values []int, mk func(v int) sim.Config) (*AblationResult, error) {
+func sweepParam(ctx context.Context, s *Suite, name string, latency int64, values []int, mk func(v int) sim.Config) (*AblationResult, error) {
 	progs := workload.Simulated()
 	var runs []RunSpec
 	for _, v := range values {
 		runs = append(runs, RunSpec{DVA, mk(v)})
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Parameter: name, Latency: latency, Values: values}
 	for _, p := range progs {
 		ap := AblationProgram{Name: p.Name}
 		for _, v := range values {
-			r, err := s.Run(p, DVA, mk(v))
+			r, err := s.RunCtx(ctx, p, DVA, mk(v))
 			if err != nil {
 				return nil, err
 			}
@@ -53,11 +55,11 @@ func sweepParam(s *Suite, name string, latency int64, values []int, mk func(v in
 // AblationIQ reproduces the §5 instruction-queue sizing study: the paper
 // found that shrinking the instruction queues from 512 to 16 slots costs
 // under 2%.
-func AblationIQ(s *Suite, latency int64) (*AblationResult, error) {
+func AblationIQ(ctx context.Context, s *Suite, latency int64) (*AblationResult, error) {
 	if latency <= 0 {
 		latency = 50
 	}
-	return sweepParam(s, "instruction queue slots", latency,
+	return sweepParam(ctx, s, "instruction queue slots", latency,
 		[]int{4, 8, 16, 32, 512},
 		func(v int) sim.Config {
 			cfg := sim.DefaultConfig(latency)
@@ -69,11 +71,11 @@ func AblationIQ(s *Suite, latency int64) (*AblationResult, error) {
 // AblationVSQ reproduces the §7 vector-store-queue study on the bypass
 // configuration with a 4-slot load queue: eight slots capture ~95% of the
 // benefit of sixteen.
-func AblationVSQ(s *Suite, latency int64) (*AblationResult, error) {
+func AblationVSQ(ctx context.Context, s *Suite, latency int64) (*AblationResult, error) {
 	if latency <= 0 {
 		latency = 50
 	}
-	return sweepParam(s, "vector store queue slots (BYP 4/x)", latency,
+	return sweepParam(ctx, s, "vector store queue slots (BYP 4/x)", latency,
 		[]int{4, 8, 16, 32, 256},
 		func(v int) sim.Config {
 			return sim.BypassConfig(latency, 4, v)
@@ -83,11 +85,11 @@ func AblationVSQ(s *Suite, latency int64) (*AblationResult, error) {
 // AblationAVDQ reproduces the §6/§8 load-queue finding: a four-slot AVDQ
 // achieves most of the performance of an effectively infinite (256) queue,
 // except for SPEC77, which uses the queue's depth.
-func AblationAVDQ(s *Suite, latency int64) (*AblationResult, error) {
+func AblationAVDQ(ctx context.Context, s *Suite, latency int64) (*AblationResult, error) {
 	if latency <= 0 {
 		latency = 50
 	}
-	return sweepParam(s, "vector load queue slots (BYP x/16)", latency,
+	return sweepParam(ctx, s, "vector load queue slots (BYP x/16)", latency,
 		[]int{2, 4, 8, 16, 256},
 		func(v int) sim.Config {
 			return sim.BypassConfig(latency, v, 16)
@@ -99,11 +101,11 @@ func AblationAVDQ(s *Suite, latency int64) (*AblationResult, error) {
 // some very common sequences of code" (a load drain and a store fill in
 // flight simultaneously). One unit should visibly hurt; more than two
 // should buy almost nothing.
-func AblationQMov(s *Suite, latency int64) (*AblationResult, error) {
+func AblationQMov(ctx context.Context, s *Suite, latency int64) (*AblationResult, error) {
 	if latency <= 0 {
 		latency = 50
 	}
-	return sweepParam(s, "VP QMOV units", latency,
+	return sweepParam(ctx, s, "VP QMOV units", latency,
 		[]int{1, 2, 4},
 		func(v int) sim.Config {
 			cfg := sim.DefaultConfig(latency)

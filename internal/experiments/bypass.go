@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/sim"
 	"decvec/internal/workload"
 )
@@ -49,7 +51,7 @@ type Figure7Result struct {
 
 // Figure7 sweeps the bypass configurations against the DVA across memory
 // latencies.
-func Figure7(s *Suite, lats []int64) (*Figure7Result, error) {
+func Figure7(ctx context.Context, s *Suite, lats []int64) (*Figure7Result, error) {
 	if len(lats) == 0 {
 		lats = DefaultLatencies
 	}
@@ -61,15 +63,15 @@ func Figure7(s *Suite, lats []int64) (*Figure7Result, error) {
 			runs = append(runs, RunSpec{DVA, sim.BypassConfig(l, bc.LoadQ, bc.StoreQ)})
 		}
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &Figure7Result{Latencies: lats}
 	for _, p := range progs {
-		fp := Figure7Program{Name: p.Name, Ideal: s.Ideal(p).Cycles}
+		fp := Figure7Program{Name: p.Name, Ideal: s.Ideal(ctx, p).Cycles}
 		dva := Figure7Series{Name: "DVA 256/16"}
 		for _, l := range lats {
-			r, err := s.Run(p, DVA, sim.DefaultConfig(l))
+			r, err := s.RunCtx(ctx, p, DVA, sim.DefaultConfig(l))
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +81,7 @@ func Figure7(s *Suite, lats []int64) (*Figure7Result, error) {
 		for _, bc := range Figure7Configs {
 			ser := Figure7Series{Name: bc.Name}
 			for _, l := range lats {
-				r, err := s.Run(p, DVA, sim.BypassConfig(l, bc.LoadQ, bc.StoreQ))
+				r, err := s.RunCtx(ctx, p, DVA, sim.BypassConfig(l, bc.LoadQ, bc.StoreQ))
 				if err != nil {
 					return nil, err
 				}
@@ -111,7 +113,7 @@ type Figure8Result struct {
 }
 
 // Figure8 compares total memory traffic of DVA 256/16 and BYP 256/16.
-func Figure8(s *Suite, latency int64) (*Figure8Result, error) {
+func Figure8(ctx context.Context, s *Suite, latency int64) (*Figure8Result, error) {
 	if latency <= 0 {
 		latency = 30
 	}
@@ -120,16 +122,16 @@ func Figure8(s *Suite, latency int64) (*Figure8Result, error) {
 		{DVA, sim.DefaultConfig(latency)},
 		{DVA, sim.BypassConfig(latency, 256, 16)},
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &Figure8Result{Latency: latency}
 	for _, p := range progs {
-		rd, err := s.Run(p, DVA, sim.DefaultConfig(latency))
+		rd, err := s.RunCtx(ctx, p, DVA, sim.DefaultConfig(latency))
 		if err != nil {
 			return nil, err
 		}
-		rb, err := s.Run(p, DVA, sim.BypassConfig(latency, 256, 16))
+		rb, err := s.RunCtx(ctx, p, DVA, sim.BypassConfig(latency, 256, 16))
 		if err != nil {
 			return nil, err
 		}

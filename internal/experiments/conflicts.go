@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/sim"
 	"decvec/internal/workload"
 )
@@ -27,7 +29,7 @@ type ConflictsResult struct {
 
 // ExtensionConflicts sweeps the per-access latency jitter at a fixed base
 // latency and compares the two architectures under it.
-func ExtensionConflicts(s *Suite, base int64, jitters []int64) (*ConflictsResult, error) {
+func ExtensionConflicts(ctx context.Context, s *Suite, base int64, jitters []int64) (*ConflictsResult, error) {
 	if base <= 0 {
 		base = 20
 	}
@@ -46,17 +48,17 @@ func ExtensionConflicts(s *Suite, base int64, jitters []int64) (*ConflictsResult
 			RunSpec{REF, mk(j)},
 			RunSpec{DVA, mk(j)})
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &ConflictsResult{BaseLatency: base, Jitters: jitters}
 	for _, p := range progs {
 		for _, j := range jitters {
-			rr, err := s.Run(p, REF, mk(j))
+			rr, err := s.RunCtx(ctx, p, REF, mk(j))
 			if err != nil {
 				return nil, err
 			}
-			rd, err := s.Run(p, DVA, mk(j))
+			rd, err := s.RunCtx(ctx, p, DVA, mk(j))
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestSuiteCachesRuns(t *testing.T) {
 }
 
 func TestTable1HasThirteenRows(t *testing.T) {
-	r, err := Table1(suite(t))
+	r, err := Table1(context.Background(), suite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestTable1HasThirteenRows(t *testing.T) {
 }
 
 func TestFigure1Shapes(t *testing.T) {
-	r, err := Figure1(suite(t))
+	r, err := Figure1(context.Background(), suite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFigure1Shapes(t *testing.T) {
 
 func TestSweepShapes(t *testing.T) {
 	s := suite(t)
-	r, err := Sweep(s, []int64{1, 30, 100})
+	r, err := Sweep(context.Background(), s, []int64{1, 30, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSweepShapes(t *testing.T) {
 func TestSweepDYFESMFlat(t *testing.T) {
 	// DYFESM is the paper's no-speedup case: its three dominant loops are
 	// chime-bound or lockstepped.
-	r, err := Sweep(suite(t), []int64{1, 100})
+	r, err := Sweep(context.Background(), suite(t), []int64{1, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestSweepDYFESMFlat(t *testing.T) {
 }
 
 func TestFigure6Shapes(t *testing.T) {
-	r, err := Figure6(suite(t))
+	r, err := Figure6(context.Background(), suite(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestFigure6Shapes(t *testing.T) {
 
 func TestFigure7Shapes(t *testing.T) {
 	s := suite(t)
-	r, err := Figure7(s, []int64{1, 50})
+	r, err := Figure7(context.Background(), s, []int64{1, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestFigure7Shapes(t *testing.T) {
 }
 
 func TestFigure8Shapes(t *testing.T) {
-	r, err := Figure8(suite(t), 30)
+	r, err := Figure8(context.Background(), suite(t), 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +276,7 @@ func TestFigure8Shapes(t *testing.T) {
 }
 
 func TestAblationIQ(t *testing.T) {
-	r, err := AblationIQ(suite(t), 50)
+	r, err := AblationIQ(context.Background(), suite(t), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestAblationIQ(t *testing.T) {
 }
 
 func TestAblationVSQ(t *testing.T) {
-	r, err := AblationVSQ(suite(t), 50)
+	r, err := AblationVSQ(context.Background(), suite(t), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestAblationVSQ(t *testing.T) {
 }
 
 func TestAblationAVDQ(t *testing.T) {
-	r, err := AblationAVDQ(suite(t), 50)
+	r, err := AblationAVDQ(context.Background(), suite(t), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +401,7 @@ func (e *testError) Error() string { return e.msg }
 
 func TestExtensionOOOShapes(t *testing.T) {
 	s := suite(t)
-	r, err := ExtensionOOO(s, []int64{1, 100})
+	r, err := ExtensionOOO(context.Background(), s, []int64{1, 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestExtensionOOOShapes(t *testing.T) {
 }
 
 func TestExtensionConflictsShapes(t *testing.T) {
-	r, err := ExtensionConflicts(suite(t), 20, []int64{0, 60, 120})
+	r, err := ExtensionConflicts(context.Background(), suite(t), 20, []int64{0, 60, 120})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,7 +469,7 @@ func TestExtensionConflictsShapes(t *testing.T) {
 }
 
 func TestAblationQMov(t *testing.T) {
-	r, err := AblationQMov(suite(t), 50)
+	r, err := AblationQMov(context.Background(), suite(t), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -509,7 +510,7 @@ func TestAblationQMov(t *testing.T) {
 }
 
 func TestExtensionPortsShapes(t *testing.T) {
-	r, err := ExtensionPorts(suite(t), []int64{1, 50})
+	r, err := ExtensionPorts(context.Background(), suite(t), []int64{1, 50})
 	if err != nil {
 		t.Fatal(err)
 	}

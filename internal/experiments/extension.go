@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"sync"
 
 	"decvec/internal/ooo"
@@ -37,7 +39,7 @@ type ExtensionOOOResult struct {
 // issue bandwidth (one per cycle), differing only in its issue window and
 // physical-register renaming — the cleanest head-to-head the paper's §8
 // asks for.
-func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
+func ExtensionOOO(ctx context.Context, s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 	if len(lats) == 0 {
 		lats = []int64{1, 30, 100}
 	}
@@ -49,7 +51,7 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 			RunSpec{REF, cfg},
 			RunSpec{DVA, cfg})
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &ExtensionOOOResult{Latencies: lats, Windows: ExtensionOOOWindows}
@@ -73,7 +75,7 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 					cfg := ooo.DefaultConfig(l)
 					cfg.Window = w
 					cfg.PhysRegs = 4 * physFloor(w)
-					r, err := s.RunOOO(p, cfg)
+					r, err := s.RunOOOCtx(ctx, p, cfg)
 					if err != nil {
 						return err
 					}
@@ -85,16 +87,16 @@ func ExtensionOOO(s *Suite, lats []int64) (*ExtensionOOOResult, error) {
 			}
 		}
 	}
-	if err := parallel(jobs); err != nil {
+	if err := parallelCtx(ctx, jobs); err != nil {
 		return nil, err
 	}
 	for _, p := range progs {
 		for _, l := range lats {
-			rr, err := s.Run(p, REF, sim.DefaultConfig(l))
+			rr, err := s.RunCtx(ctx, p, REF, sim.DefaultConfig(l))
 			if err != nil {
 				return nil, err
 			}
-			rd, err := s.Run(p, DVA, sim.DefaultConfig(l))
+			rd, err := s.RunCtx(ctx, p, DVA, sim.DefaultConfig(l))
 			if err != nil {
 				return nil, err
 			}

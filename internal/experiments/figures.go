@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/sim"
 	"decvec/internal/workload"
 )
@@ -29,21 +31,21 @@ type Figure1Result struct {
 
 // Figure1 runs the reference architecture at the Figure 1 latencies and
 // collects the per-state cycle breakdowns.
-func Figure1(s *Suite) (*Figure1Result, error) {
+func Figure1(ctx context.Context, s *Suite) (*Figure1Result, error) {
 	lats := Figure1Latencies
 	progs := workload.Simulated()
 	var runs []RunSpec
 	for _, l := range lats {
 		runs = append(runs, RunSpec{REF, sim.DefaultConfig(l)})
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &Figure1Result{Latencies: lats}
 	for _, p := range progs {
 		fp := Figure1Program{Name: p.Name}
 		for _, l := range lats {
-			r, err := s.Run(p, REF, sim.DefaultConfig(l))
+			r, err := s.RunCtx(ctx, p, REF, sim.DefaultConfig(l))
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +107,7 @@ type SweepResult struct {
 // Sweep runs the six simulated benchmarks on REF and DVA (default queue
 // configuration: IQ 16, scalar queues 256, AVDQ 256, VADQ 16) across the
 // latency sweep. Figures 3, 4 and 5 are all views of this dataset.
-func Sweep(s *Suite, lats []int64) (*SweepResult, error) {
+func Sweep(ctx context.Context, s *Suite, lats []int64) (*SweepResult, error) {
 	if len(lats) == 0 {
 		lats = DefaultLatencies
 	}
@@ -118,19 +120,19 @@ func Sweep(s *Suite, lats []int64) (*SweepResult, error) {
 			RunSpec{DVA, cfg},
 		)
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &SweepResult{Latencies: lats}
 	for _, p := range progs {
-		sp := SweepProgram{Name: p.Name, Ideal: s.Ideal(p).Cycles}
+		sp := SweepProgram{Name: p.Name, Ideal: s.Ideal(ctx, p).Cycles}
 		for _, l := range lats {
 			cfg := sim.DefaultConfig(l)
-			rr, err := s.Run(p, REF, cfg)
+			rr, err := s.RunCtx(ctx, p, REF, cfg)
 			if err != nil {
 				return nil, err
 			}
-			rd, err := s.Run(p, DVA, cfg)
+			rd, err := s.RunCtx(ctx, p, DVA, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -162,21 +164,21 @@ type Figure6Result struct {
 
 // Figure6 measures the AVDQ occupancy distribution of the DVA (256-slot
 // load queue) at the Figure 6 latencies.
-func Figure6(s *Suite) (*Figure6Result, error) {
+func Figure6(ctx context.Context, s *Suite) (*Figure6Result, error) {
 	lats := Figure6Latencies
 	progs := workload.Simulated()
 	var runs []RunSpec
 	for _, l := range lats {
 		runs = append(runs, RunSpec{DVA, sim.DefaultConfig(l)})
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &Figure6Result{Latencies: lats}
 	for _, p := range progs {
 		fp := Figure6Program{Name: p.Name}
 		for _, l := range lats {
-			r, err := s.Run(p, DVA, sim.DefaultConfig(l))
+			r, err := s.RunCtx(ctx, p, DVA, sim.DefaultConfig(l))
 			if err != nil {
 				return nil, err
 			}

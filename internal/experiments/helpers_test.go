@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"context"
+
+	"decvec/internal/ooo"
+	"decvec/internal/sim"
+	"decvec/internal/workload"
+)
+
+// Test-only convenience wrappers. Production code threads a context
+// end-to-end (ctxdiscipline enforces it); tests run under their own
+// deadlines and are free to mint root contexts, so they keep the shorter
+// spellings here.
+
+func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	return s.RunCtx(context.Background(), p, arch, cfg)
+}
+
+func (s *Suite) RunOOO(p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
+	return s.RunOOOCtx(context.Background(), p, cfg)
+}
+
+func (s *Suite) warm(programs []*workload.Program, runs []RunSpec) error {
+	return s.WarmCtx(context.Background(), programs, runs)
+}
+
+func parallel(jobs []func() error) error {
+	return parallelCtx(context.Background(), jobs)
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/sim"
 	"decvec/internal/workload"
 )
@@ -28,7 +30,7 @@ type PortsResult struct {
 }
 
 // ExtensionPorts runs the comparison.
-func ExtensionPorts(s *Suite, lats []int64) (*PortsResult, error) {
+func ExtensionPorts(ctx context.Context, s *Suite, lats []int64) (*PortsResult, error) {
 	if len(lats) == 0 {
 		lats = []int64{1, 50}
 	}
@@ -46,21 +48,21 @@ func ExtensionPorts(s *Suite, lats []int64) (*PortsResult, error) {
 			runs = append(runs, RunSpec{DVA, cfg})
 		}
 	}
-	if err := s.warm(progs, runs); err != nil {
+	if err := s.WarmCtx(ctx, progs, runs); err != nil {
 		return nil, err
 	}
 	res := &PortsResult{Latencies: lats}
 	for _, p := range progs {
 		for _, l := range lats {
-			r1, err := s.Run(p, DVA, oneP(l))
+			r1, err := s.RunCtx(ctx, p, DVA, oneP(l))
 			if err != nil {
 				return nil, err
 			}
-			rb, err := s.Run(p, DVA, bypP(l))
+			rb, err := s.RunCtx(ctx, p, DVA, bypP(l))
 			if err != nil {
 				return nil, err
 			}
-			r2, err := s.Run(p, DVA, twoP(l))
+			r2, err := s.RunCtx(ctx, p, DVA, twoP(l))
 			if err != nil {
 				return nil, err
 			}

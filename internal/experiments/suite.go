@@ -179,17 +179,13 @@ func (s *Suite) admit(ctx context.Context) (func(), error) {
 	return s.Gate.Acquire(ctx)
 }
 
-// Run simulates program p on the given architecture and configuration,
+// RunCtx simulates program p on the given architecture and configuration,
 // returning a cached result when the identical run has been done before —
 // in this process or, with a Disk store attached, in any previous one.
-// Concurrent calls for the same key share a single simulation.
-func (s *Suite) Run(p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
-	return s.RunCtx(context.Background(), p, arch, cfg)
-}
-
-// RunCtx is Run honoring context cancellation: a caller that gives up stops
-// waiting immediately (in the admission queue, or on a coalesced in-flight
-// run) without disturbing the computation other callers still want.
+// Concurrent calls for the same key share a single simulation, and a
+// caller that gives up stops waiting immediately (in the admission queue,
+// or on a coalesced in-flight run) without disturbing the computation
+// other callers still want.
 func (s *Suite) RunCtx(ctx context.Context, p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	if s.SlowTick {
 		cfg.SlowTick = true
@@ -202,13 +198,8 @@ func (s *Suite) RunCtx(ctx context.Context, p *workload.Program, arch Arch, cfg 
 	})
 }
 
-// RunOOO simulates program p on the out-of-order extension (§8) with the
-// same two-tier caching discipline as Run.
-func (s *Suite) RunOOO(p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
-	return s.RunOOOCtx(context.Background(), p, cfg)
-}
-
-// RunOOOCtx is RunOOO honoring context cancellation.
+// RunOOOCtx simulates program p on the out-of-order extension (§8) with
+// the same two-tier caching and cancellation discipline as RunCtx.
 func (s *Suite) RunOOOCtx(ctx context.Context, p *workload.Program, cfg ooo.Config) (*sim.Result, error) {
 	if s.SlowTick {
 		cfg.SlowTick = true
@@ -378,9 +369,10 @@ func (s *Suite) simulateSource(ctx context.Context, src *trace.Slice, arch Arch,
 }
 
 // Ideal returns the five-resource lower bound for the program (§5).
-// Concurrent calls for the same program share a single computation.
-func (s *Suite) Ideal(p *workload.Program) ideal.Bound {
-	b, _ := s.ideals.do(context.Background(), p.Name, func(context.Context) (ideal.Bound, error) {
+// Concurrent calls for the same program share a single computation; ctx
+// bounds the wait on a coalesced in-flight one.
+func (s *Suite) Ideal(ctx context.Context, p *workload.Program) ideal.Bound {
+	b, _ := s.ideals.do(ctx, p.Name, func(context.Context) (ideal.Bound, error) {
 		return ideal.Compute(p.CachedTrace(s.Scale)), nil
 	})
 	return b
@@ -467,17 +459,13 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// parallel runs the jobs across the available CPUs. All jobs run to
+// parallelCtx runs the jobs across the available CPUs. All jobs run to
 // completion; every error is collected and the joined aggregate returned,
 // so one failing configuration cannot mask the others. Jobs must be
-// independent; the Suite cache serializes internally.
-func parallel(jobs []func() error) error {
-	return parallelCtx(context.Background(), jobs)
-}
-
-// parallelCtx is parallel with cancellation: once the context ends, jobs not
-// yet started are skipped (in-flight jobs run to completion — simulations
-// are not interruptible mid-run) and the context error joins the aggregate.
+// independent; the Suite cache serializes internally. Once the context
+// ends, jobs not yet started are skipped (in-flight jobs run to
+// completion — simulations are not interruptible mid-run) and the context
+// error joins the aggregate.
 func parallelCtx(ctx context.Context, jobs []func() error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
@@ -523,12 +511,6 @@ func parallelCtx(ctx context.Context, jobs []func() error) error {
 type RunSpec struct {
 	Arch Arch
 	Cfg  sim.Config
-}
-
-// warm pre-runs all (program, spec) combinations in parallel so the figure
-// drivers can then read everything from cache sequentially.
-func (s *Suite) warm(programs []*workload.Program, runs []RunSpec) error {
-	return s.WarmCtx(context.Background(), programs, runs)
 }
 
 // WarmCtx pre-runs the (program × spec) grid in parallel, honoring context

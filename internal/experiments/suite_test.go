@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -115,7 +116,7 @@ func TestSuiteIdealSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			bounds[i] = s.Ideal(p).Cycles
+			bounds[i] = s.Ideal(context.Background(), p).Cycles
 		}(i)
 	}
 	wg.Wait()

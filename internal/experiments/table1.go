@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"decvec/internal/trace"
 	"decvec/internal/workload"
 )
@@ -23,7 +25,7 @@ type Table1Result struct {
 }
 
 // Table1 computes trace statistics for all thirteen Perfect Club models.
-func Table1(s *Suite) (*Table1Result, error) {
+func Table1(ctx context.Context, s *Suite) (*Table1Result, error) {
 	res := &Table1Result{}
 	rows := make([]Table1Row, len(workload.All))
 	var jobs []func() error
@@ -39,7 +41,7 @@ func Table1(s *Suite) (*Table1Result, error) {
 			return nil
 		})
 	}
-	if err := parallel(jobs); err != nil {
+	if err := parallelCtx(ctx, jobs); err != nil {
 		return nil, err
 	}
 	res.Rows = rows

@@ -37,6 +37,7 @@ type Bound struct {
 // simulated time, scalar loads are charged to the cache resource and only
 // vector references and scalar stores are charged to the port. This keeps
 // the bound conservative (never above the true minimum).
+// declint:hotpath
 func Compute(src trace.Source) Bound {
 	var b Bound
 	var fu2Only, fuAny int64

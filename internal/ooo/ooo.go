@@ -99,7 +99,18 @@ type machine struct {
 	pending    *isa.Inst
 	hasPending bool
 
-	window []*wentry
+	// win is the issue window as a fixed ring buffer: the wLen live
+	// entries, oldest first, are win[wHead], win[wHead+1], ... modulo
+	// len(win). Entries are stored by value and recycled in place, so the
+	// steady-state dispatch loop never allocates a window entry.
+	win   []wentry
+	wHead int
+	wLen  int
+
+	// arena hands out renamed values. Values outlive their window entry
+	// (source snapshots and the rename tables keep them), so they cannot be
+	// recycled with the ring; the arena amortizes their allocation instead.
+	arena valueArena
 
 	// Rename state.
 	vRename  [isa.NumVRegs]*value
@@ -119,6 +130,26 @@ type machine struct {
 
 var zeroValue = value{valid: true, chainable: false}
 
+// valueArena allocates values in chunks so the dispatch loop performs one
+// heap allocation per chunk instead of one per renamed destination. Spent
+// values are never returned: a value's lifetime is data-dependent (source
+// snapshots keep it past retirement), exactly what garbage collection of a
+// whole chunk handles once nothing references into it.
+type valueArena struct {
+	chunk []value
+}
+
+const valueChunk = 1024
+
+func (a *valueArena) alloc() *value {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]value, valueChunk)
+	}
+	v := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return v
+}
+
 // Run simulates the trace on the out-of-order vector architecture.
 func Run(src trace.Source, cfg Config) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -130,6 +161,7 @@ func Run(src trace.Source, cfg Config) (*sim.Result, error) {
 		cache:    mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
 		stream:   src.Stream(),
 		freePhys: cfg.PhysRegs,
+		win:      make([]wentry, cfg.Window),
 	}
 	for i := range m.vRename {
 		m.vRename[i] = &zeroValue
@@ -155,6 +187,7 @@ func Run(src trace.Source, cfg Config) (*sim.Result, error) {
 	}, nil
 }
 
+// declint:hotpath
 func (m *machine) run() error {
 	window := 64*(m.cfg.MemLatency+isa.MaxVL+m.cfg.DivDepth) + 4096
 	fast := !m.cfg.SlowTick
@@ -178,7 +211,7 @@ func (m *machine) run() error {
 		}
 		idleSteps++
 		if idleSteps >= window {
-			return fmt.Errorf("deadlock at cycle %d (window %d entries)", m.now, len(m.window))
+			return fmt.Errorf("deadlock at cycle %d (window %d entries)", m.now, m.wLen)
 		}
 		// Idle-skip fast path: a cycle with no fetch, issue or retirement
 		// leaves every decision input unchanged, so the machine repeats it
@@ -224,9 +257,10 @@ func (m *machine) horizon() int64 {
 			}
 		}
 	}
-	for _, e := range m.window {
+	for i := 0; i < m.wLen; i++ {
 		// dst gates retirement; the source snapshots gate issue (they can
 		// outlive their producer's window entry, so scan them directly).
+		e := m.winAt(i)
 		value(e.dst)
 		if !e.issued {
 			value(e.src1)
@@ -240,7 +274,7 @@ func (m *machine) horizon() int64 {
 func (m *machine) progress() { m.lastProgress = m.now }
 
 func (m *machine) finished() bool {
-	if !m.streamDone || m.hasPending || len(m.window) > 0 {
+	if !m.streamDone || m.hasPending || m.wLen > 0 {
 		return false
 	}
 	return m.now >= m.maxDone
@@ -256,6 +290,11 @@ func (m *machine) done(c int64) {
 	}
 }
 
+// winAt returns the i-th oldest live window entry (0 <= i < m.wLen).
+func (m *machine) winAt(i int) *wentry {
+	return &m.win[(m.wHead+i)%len(m.win)]
+}
+
 // fetch renames and inserts at most one instruction per cycle.
 func (m *machine) fetch() {
 	if !m.hasPending {
@@ -268,7 +307,7 @@ func (m *machine) fetch() {
 		m.hasPending = true
 		m.count(m.pending)
 	}
-	if len(m.window) >= m.cfg.Window {
+	if m.wLen >= m.cfg.Window {
 		return
 	}
 	in := m.pending
@@ -276,7 +315,9 @@ func (m *machine) fetch() {
 	if needsPhys && m.freePhys == 0 {
 		return // no physical register: fetch stalls
 	}
-	e := &wentry{in: in}
+	// Recycle the ring slot in place; the previous occupant retired long ago.
+	e := m.winAt(m.wLen)
+	*e = wentry{in: in}
 	// Source snapshot (renaming: later redefinitions cannot disturb it).
 	e.src1 = m.lookup(in.Src1)
 	e.src2 = m.lookup(in.Src2)
@@ -291,10 +332,10 @@ func (m *machine) fetch() {
 	// Destination rename.
 	if needsPhys {
 		m.freePhys--
-		e.dst = &value{}
+		e.dst = m.arena.alloc()
 		m.vRename[in.Dst.Idx] = e.dst
 	} else if !in.Class.IsStore() && in.Dst.Kind != isa.RegNone {
-		e.dst = &value{}
+		e.dst = m.arena.alloc()
 		switch in.Dst.Kind {
 		case isa.RegS:
 			m.sValues[in.Dst.Idx] = e.dst
@@ -303,7 +344,7 @@ func (m *machine) fetch() {
 		default: // declint:nonexhaustive — RegNone is excluded by the enclosing if; RegV takes the needsPhys rename path
 		}
 	}
-	m.window = append(m.window, e)
+	m.wLen++
 	m.hasPending = false
 	m.progress()
 }
@@ -338,10 +379,10 @@ func (m *machine) srcReady(v *value) bool {
 // memOrderOK reports whether every older overlapping memory instruction has
 // issued.
 func (m *machine) memOrderOK(idx int) bool {
-	e := m.window[idx]
+	e := m.winAt(idx)
 	eLoad := e.load
 	for j := 0; j < idx; j++ {
-		o := m.window[j]
+		o := m.winAt(j)
 		if o.issued || !o.mem {
 			continue
 		}
@@ -360,7 +401,8 @@ func (m *machine) memOrderOK(idx int) bool {
 // issueOne issues the oldest ready instruction, if any (one per cycle, the
 // same issue bandwidth as the reference architecture).
 func (m *machine) issueOne() {
-	for idx, e := range m.window {
+	for idx := 0; idx < m.wLen; idx++ {
+		e := m.winAt(idx)
 		if e.issued {
 			continue
 		}
@@ -475,8 +517,8 @@ func (m *machine) invalidateRange(in *isa.Inst) {
 // physical register is freed only when its instruction and everything
 // older have completed.
 func (m *machine) retire() {
-	for len(m.window) > 0 {
-		e := m.window[0]
+	for m.wLen > 0 {
+		e := m.winAt(0)
 		if !e.issued {
 			return
 		}
@@ -486,7 +528,8 @@ func (m *machine) retire() {
 		if e.dst != nil && e.in.Dst.Kind == isa.RegV {
 			m.freePhys++
 		}
-		m.window = m.window[1:]
+		m.wHead = (m.wHead + 1) % len(m.win)
+		m.wLen--
 		m.progress()
 	}
 }

@@ -65,6 +65,7 @@ func (q *Q[T]) SetObserver(o Observer) { q.obs = o }
 
 // account brings the occupancy integral up to cycle now. Callers pass
 // monotonically non-decreasing cycles.
+// declint:hotpath
 func (q *Q[T]) account(now int64) {
 	if dt := now - q.lastT; dt > 0 {
 		q.lenCycles += int64(q.n) * dt
@@ -117,6 +118,7 @@ func (q *Q[T]) at(i int) *entry[T] {
 
 // Push appends v, visible from cycle now+1. It reports whether the push
 // succeeded; it fails (returning false) when the queue is full.
+// declint:hotpath
 func (q *Q[T]) Push(now int64, v T) bool {
 	if q.Full() {
 		return false
@@ -141,6 +143,7 @@ func (q *Q[T]) CanPop(now int64) bool {
 
 // Peek returns the head entry without removing it. ok is false when the
 // queue is empty or the head is not yet visible at cycle now.
+// declint:hotpath
 func (q *Q[T]) Peek(now int64) (v T, ok bool) {
 	if !q.CanPop(now) {
 		var zero T
@@ -150,6 +153,7 @@ func (q *Q[T]) Peek(now int64) (v T, ok bool) {
 }
 
 // PeekAt returns the i-th entry (0 = head) if it exists and is visible.
+// declint:hotpath
 func (q *Q[T]) PeekAt(now int64, i int) (v T, ok bool) {
 	if i < 0 || i >= q.n || q.at(i).visible > now {
 		var zero T
@@ -179,6 +183,7 @@ func (q *Q[T]) AllVisible(now int64) bool {
 
 // Pop removes and returns the head entry. ok is false when the queue is
 // empty or the head is not yet visible at cycle now.
+// declint:hotpath
 func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 	if !q.CanPop(now) {
 		var zero T
@@ -203,6 +208,7 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 // Head returns a pointer to the head entry's value for in-place mutation
 // (used by multi-cycle operations that update queue-resident state). ok is
 // false when the queue is empty or the head is not visible at cycle now.
+// declint:hotpath
 func (q *Q[T]) Head(now int64) (v *T, ok bool) {
 	if !q.CanPop(now) {
 		return nil, false
@@ -212,6 +218,7 @@ func (q *Q[T]) Head(now int64) (v *T, ok bool) {
 
 // All calls fn for every entry visible at cycle now, oldest first, stopping
 // early if fn returns false.
+// declint:hotpath
 func (q *Q[T]) All(now int64, fn func(v *T) bool) {
 	for i := 0; i < q.n; i++ {
 		e := q.at(i)

@@ -86,7 +86,27 @@ func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued i
 		cache: mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
 		rec:   rec,
 	}
-	st := src.Stream()
+	now := m.run(src.Stream(), hook)
+	res := &sim.Result{
+		Arch:    "REF",
+		Config:  cfg,
+		Cycles:  now,
+		States:  m.states,
+		Counts:  m.counts,
+		Traffic: m.traffic,
+		Stalls:  m.stalls,
+
+		ScalarCacheHits:   m.cache.Hits,
+		ScalarCacheMisses: m.cache.Misses,
+	}
+	return res, nil
+}
+
+// run is the dispatch loop: it replays the stream instruction by
+// instruction and returns the cycle at which the machine drained.
+//
+// declint:hotpath
+func (m *machine) run(st trace.Stream, hook func(in *isa.Inst, issued int64)) int64 {
 	var now int64 // earliest cycle the next instruction may issue
 	for {
 		in, ok := st.Next()
@@ -121,19 +141,7 @@ func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued i
 		m.accountStates(now, m.maxDone)
 		now = m.maxDone
 	}
-	res := &sim.Result{
-		Arch:    "REF",
-		Config:  cfg,
-		Cycles:  now,
-		States:  m.states,
-		Counts:  m.counts,
-		Traffic: m.traffic,
-		Stalls:  m.stalls,
-
-		ScalarCacheHits:   m.cache.Hits,
-		ScalarCacheMisses: m.cache.Misses,
-	}
-	return res, nil
+	return now
 }
 
 func (m *machine) count(in *isa.Inst) {

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestBar(t *testing.T) {
 func TestRenderersProduceOutput(t *testing.T) {
 	s := experiments.NewSuite(0.3)
 
-	t1, err := experiments.Table1(s)
+	t1, err := experiments.Table1(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Table1 output incomplete")
 	}
 
-	f1, err := experiments.Figure1(s)
+	f1, err := experiments.Figure1(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Figure1 output incomplete")
 	}
 
-	sw, err := experiments.Sweep(s, []int64{1, 50})
+	sw, err := experiments.Sweep(context.Background(), s, []int64{1, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Figure5 output incomplete")
 	}
 
-	f6, err := experiments.Figure6(s)
+	f6, err := experiments.Figure6(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Figure6 output incomplete")
 	}
 
-	f7, err := experiments.Figure7(s, []int64{1, 50})
+	f7, err := experiments.Figure7(context.Background(), s, []int64{1, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Figure7 output incomplete")
 	}
 
-	f8, err := experiments.Figure8(s, 30)
+	f8, err := experiments.Figure8(context.Background(), s, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 		t.Error("Figure8 output incomplete")
 	}
 
-	ab, err := experiments.AblationAVDQ(s, 50)
+	ab, err := experiments.AblationAVDQ(context.Background(), s, 50)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -178,6 +178,7 @@ func (r StallReason) Proc() Proc {
 type StallCounts [NumStallReasons]int64
 
 // Add accumulates n stall cycles for the reason.
+// declint:hotpath
 func (s *StallCounts) Add(r StallReason, n int64) { s[r] += n }
 
 // Total returns the stall cycles summed over all reasons.

@@ -53,12 +53,14 @@ type StateStats struct {
 }
 
 // Observe adds one cycle in the given state.
+// declint:hotpath
 func (st *StateStats) Observe(s State) { st.Cycles[s]++ }
 
 // ObserveN adds n cycles in the given state — the bulk form of Observe used
 // by the idle-skip fast path, which accounts a whole skipped span at once.
 // ObserveN(s, n) is exactly equivalent to n repeated Observe(s) calls; n <= 0
 // is a no-op.
+// declint:hotpath
 func (st *StateStats) ObserveN(s State, n int64) {
 	if n <= 0 {
 		return
@@ -137,6 +139,7 @@ func NewHistogram(max int) *Histogram {
 }
 
 // Observe adds one observation of value v (v < 0 panics).
+// declint:hotpath
 func (h *Histogram) Observe(v int) {
 	if v < 0 {
 		panic("sim: negative histogram observation")
@@ -152,6 +155,7 @@ func (h *Histogram) Observe(v int) {
 // the idle-skip fast path (a skipped span repeats one occupancy for its whole
 // length). ObserveN(v, n) is exactly equivalent to n repeated Observe(v)
 // calls; n <= 0 is a no-op, v < 0 panics.
+// declint:hotpath
 func (h *Histogram) ObserveN(v int, n int64) {
 	if v < 0 {
 		panic("sim: negative histogram observation")
