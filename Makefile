@@ -32,16 +32,19 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark once (with the dvabench PGO profile, matching how
-# the CLI itself is built) and folds the results against the checked-in pre-PR
-# baseline into BENCH_PR5.json — ns/op, B/op, allocs/op, sims/op, and the
-# figure-benchmark geomean speedup. See EXPERIMENTS.md "Reproducing".
+# the CLI itself is built) and folds the results against the checked-in
+# post-PR-8 baseline into BENCH_CI.json — ns/op, B/op, allocs/op, sims/op,
+# and the figure-benchmark geomean speedup. This is a CI gate: -min-geomean
+# fails the run if the geomean drops below 0.95x the tracked baseline (slack
+# for runner noise, failure for real regressions). See EXPERIMENTS.md
+# "Reproducing".
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' \
 		-pgo=cmd/dvabench/default.pgo . | tee bench_current.txt
-	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr5.txt \
-		-current bench_current.txt -out BENCH_PR5.json \
-		-desc "persistent content-addressed result cache (PR 5)" \
-		-notes "cold/warm cache benchmarks added in PR 5; suite benchmarks now include extension-ooo runs routed through the shared cache"
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr8.txt \
+		-current bench_current.txt -out BENCH_CI.json -min-geomean 0.95 \
+		-desc "post-PR-8 baseline vs current; gate fails below 0.95x geomean" \
+		-notes "baseline snapshot taken after the PR 8 arena/batching work (pooled runners, zero-alloc steady state)"
 
 # loadtest stands up a throwaway dvad daemon and storms it with dvadload:
 # identical concurrent requests must coalesce into at most one simulation,

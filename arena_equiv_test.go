@@ -1,0 +1,160 @@
+package decvec
+
+import (
+	"reflect"
+	"testing"
+
+	"decvec/internal/dva"
+	"decvec/internal/ooo"
+	"decvec/internal/ref"
+	"decvec/internal/sim"
+	"decvec/internal/workload"
+)
+
+// These tests pin the arena Reset contract (internal/sim/arena.go): a pooled
+// Runner reused across runs must be observationally bit-identical to a fresh
+// machine. Each core walks the same (program x latency x queue-size) grid as
+// the idle-skip suite with a single shared Runner, so every step resets the
+// machine away from a different configuration (different queue capacities,
+// port counts, histogram sizes) — the hostile case for stale-state leaks.
+// Every grid point runs twice on the pooled machine, so same-geometry reuse
+// (where reset takes every "reuse in place" branch) is pinned too.
+
+// assertPooledIdentical fails the test unless a pooled run matches the fresh
+// run bit-for-bit, including derived metrics JSON.
+func assertPooledIdentical(t *testing.T, label string, fresh, pooled *sim.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(fresh, pooled) {
+		t.Errorf("%s: pooled result differs from fresh:\nfresh:  %+v\npooled: %+v", label, fresh, pooled)
+	}
+}
+
+// TestDVAArenaReuseEquivalence runs the DVA/BYP grid on one shared Runner,
+// comparing every reused run (results and event streams) against a fresh
+// machine.
+func TestDVAArenaReuseEquivalence(t *testing.T) {
+	runner := dva.NewRunner()
+	for _, p := range workload.Simulated() {
+		for _, lat := range equivalenceLatencies {
+			for ci, cfg := range dvaGrid(lat) {
+				src := p.CachedTrace(equivalenceScale)
+				name := testName(p.Name, lat, ci)
+
+				freshRec := sim.NewRecorder()
+				fresh, err := dva.RunRecorded(src, cfg, freshRec)
+				if err != nil {
+					t.Fatalf("%s: fresh run: %v", name, err)
+				}
+
+				var first, second sim.Result
+				firstRec, secondRec := sim.NewRecorder(), sim.NewRecorder()
+				if err := runner.RunRecordedInto(&first, src, cfg, firstRec); err != nil {
+					t.Fatalf("%s: pooled run 1: %v", name, err)
+				}
+				if err := runner.RunRecordedInto(&second, src, cfg, secondRec); err != nil {
+					t.Fatalf("%s: pooled run 2: %v", name, err)
+				}
+
+				assertPooledIdentical(t, name+"/run1", fresh, &first)
+				assertPooledIdentical(t, name+"/run2", fresh, &second)
+				assertSameEvents(t, freshRec, firstRec)
+				assertSameEvents(t, freshRec, secondRec)
+			}
+		}
+	}
+}
+
+// TestREFArenaReuseEquivalence is the REF-core arena-reuse sweep.
+func TestREFArenaReuseEquivalence(t *testing.T) {
+	runner := ref.NewRunner()
+	for _, p := range workload.Simulated() {
+		for _, lat := range equivalenceLatencies {
+			src := p.CachedTrace(equivalenceScale)
+			name := testName(p.Name, lat, 0)
+			cfg := sim.DefaultConfig(lat)
+
+			freshRec := sim.NewRecorder()
+			fresh, err := ref.RunRecorded(src, cfg, freshRec)
+			if err != nil {
+				t.Fatalf("%s: fresh run: %v", name, err)
+			}
+
+			var first, second sim.Result
+			firstRec, secondRec := sim.NewRecorder(), sim.NewRecorder()
+			if err := runner.RunRecordedInto(&first, src, cfg, firstRec); err != nil {
+				t.Fatalf("%s: pooled run 1: %v", name, err)
+			}
+			if err := runner.RunRecordedInto(&second, src, cfg, secondRec); err != nil {
+				t.Fatalf("%s: pooled run 2: %v", name, err)
+			}
+
+			assertPooledIdentical(t, name+"/run1", fresh, &first)
+			assertPooledIdentical(t, name+"/run2", fresh, &second)
+			assertSameEvents(t, freshRec, firstRec)
+			assertSameEvents(t, freshRec, secondRec)
+		}
+	}
+}
+
+// TestOOOArenaReuseEquivalence is the OOO-core arena-reuse sweep (results
+// only; the OOO core has no event recorder). Window and physical-register
+// shapes vary between grid steps, so the issue window ring and the value
+// arena are both resized and reused along the walk.
+func TestOOOArenaReuseEquivalence(t *testing.T) {
+	shapes := []struct{ window, phys int }{
+		{1, 8}, {4, 16}, {16, 32},
+	}
+	runner := ooo.NewRunner()
+	for _, p := range workload.Simulated() {
+		for _, lat := range equivalenceLatencies {
+			for si, sh := range shapes {
+				src := p.CachedTrace(equivalenceScale)
+				name := testName(p.Name, lat, si)
+				cfg := ooo.DefaultConfig(lat)
+				cfg.Window = sh.window
+				cfg.PhysRegs = sh.phys
+
+				fresh, err := ooo.Run(src, cfg)
+				if err != nil {
+					t.Fatalf("%s: fresh run: %v", name, err)
+				}
+
+				var first, second sim.Result
+				if err := runner.RunInto(&first, src, cfg); err != nil {
+					t.Fatalf("%s: pooled run 1: %v", name, err)
+				}
+				if err := runner.RunInto(&second, src, cfg); err != nil {
+					t.Fatalf("%s: pooled run 2: %v", name, err)
+				}
+
+				assertPooledIdentical(t, name+"/run1", fresh, &first)
+				assertPooledIdentical(t, name+"/run2", fresh, &second)
+			}
+		}
+	}
+}
+
+// TestArenaReuseSlowTick crosses the two contracts: a pooled machine in
+// SlowTick mode must still match a fresh fast-path machine after normalize.
+func TestArenaReuseSlowTick(t *testing.T) {
+	p := workload.Simulated()[0]
+	src := p.CachedTrace(equivalenceScale)
+	cfg := sim.DefaultConfig(30)
+
+	fresh, err := dva.Run(src, cfg)
+	if err != nil {
+		t.Fatalf("fresh fast run: %v", err)
+	}
+
+	runner := dva.NewRunner()
+	slowCfg := cfg
+	slowCfg.SlowTick = true
+	var warm, pooled sim.Result
+	if err := runner.RunInto(&warm, src, slowCfg); err != nil {
+		t.Fatalf("pooled warm-up run: %v", err)
+	}
+	if err := runner.RunInto(&pooled, src, slowCfg); err != nil {
+		t.Fatalf("pooled slow run: %v", err)
+	}
+	assertIdentical(t, fresh, &pooled)
+}

@@ -6,11 +6,17 @@
 // simcycles/s), a baseline/current speedup, and the file closes with the
 // geometric-mean speedup over the paper-figure benchmarks.
 //
+// With -min-geomean set, benchjson doubles as the CI performance gate: the
+// report is still written, then the process exits nonzero if the figure
+// geomean speedup falls below the floor (CI uses 0.95, allowing runner
+// noise but failing real regressions).
+//
 // Usage:
 //
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . > current.txt
-//	go run ./cmd/benchjson -baseline bench/baseline_pr5.txt \
-//	    -current current.txt -out BENCH_PR5.json -desc "..." -notes "..."
+//	go run ./cmd/benchjson -baseline bench/baseline_pr8.txt \
+//	    -current current.txt -out BENCH_CI.json -min-geomean 0.95 \
+//	    -desc "..." -notes "..."
 package main
 
 import (
@@ -93,6 +99,8 @@ func main() {
 	desc := flag.String("desc", "pre-PR baseline vs current; speedup = baseline ns/op / current ns/op",
 		"one-line description of what the trajectory compares")
 	notes := flag.String("notes", "", "free-form notes embedded in the report")
+	minGeomean := flag.Float64("min-geomean", 0,
+		"fail (exit 1) if the figure geomean speedup falls below this value; 0 disables the gate")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -current is required")
@@ -152,6 +160,21 @@ func main() {
 	}
 	fmt.Printf("benchjson: %s (figure geomean %.3fx over %d benchmarks)\n",
 		*out, rep.FigureGeomeanSpeedup, logN)
+
+	// The gate makes the bench step CI-enforceable: the report is always
+	// written (the artifact survives a failure for diagnosis), then the run
+	// fails if the figure geomean regressed below the floor.
+	if *minGeomean > 0 {
+		if logN == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: -min-geomean %.2f set but no figure benchmarks matched\n", *minGeomean)
+			os.Exit(1)
+		}
+		if rep.FigureGeomeanSpeedup < *minGeomean {
+			fmt.Fprintf(os.Stderr, "benchjson: figure geomean %.3fx below floor %.2fx\n",
+				rep.FigureGeomeanSpeedup, *minGeomean)
+			os.Exit(1)
+		}
+	}
 }
 
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

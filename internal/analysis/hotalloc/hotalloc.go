@@ -37,15 +37,18 @@ import (
 	"decvec/internal/analysis"
 )
 
-// hotPackages is the set of model-package basenames the analyzer polices.
+// hotPackages is the set of package basenames the analyzer polices: the
+// model packages plus the experiments batch driver, whose pooled-runner
+// dispatch sits upstream of every simulation.
 var hotPackages = map[string]bool{
-	"ref":    true,
-	"dva":    true,
-	"ooo":    true,
-	"ideal":  true,
-	"sim":    true,
-	"queue":  true,
-	"disamb": true,
+	"ref":         true,
+	"dva":         true,
+	"ooo":         true,
+	"ideal":       true,
+	"sim":         true,
+	"queue":       true,
+	"disamb":      true,
+	"experiments": true,
 }
 
 // Directive marks a function as a hot-path root in its doc comment.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotAlloc(t *testing.T) {
-	analysis.RunTest(t, "../testdata", hotalloc.Analyzer, "hot/dva")
+	analysis.RunTest(t, "../testdata", hotalloc.Analyzer, "hot/dva", "hot/experiments")
 }

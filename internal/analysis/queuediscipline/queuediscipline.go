@@ -7,7 +7,8 @@
 // to date first. The analyzer enforces, inside the queue package:
 //
 //   - queue struct fields may only be assigned by the approved mutators
-//     (New, Push, Pop, Reset, SetObserver and the account helper);
+//     (the New/Init constructors, Push, Pop, Reset, SetObserver and the
+//     account helper);
 //   - Push and Pop must call account() before the first state mutation, so
 //     the occupancy integral can never be bypassed.
 //
@@ -37,7 +38,7 @@ var Analyzer = &analysis.Analyzer{
 // approvedMutators are the queue-package functions allowed to touch queue
 // fields directly.
 var approvedMutators = map[string]bool{
-	"New": true, "Push": true, "Pop": true, "Reset": true,
+	"New": true, "Init": true, "Push": true, "Pop": true, "Reset": true,
 	"SetObserver": true, "account": true,
 }
 

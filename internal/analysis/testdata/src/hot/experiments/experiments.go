@@ -1,0 +1,57 @@
+// Package experiments is a hotalloc fixture for the batch-driver package:
+// its basename joined the analyzer's hot set when the pooled-runner batch
+// dispatch moved the per-simulation hot loop out of the model packages. The
+// fixture pins the regression that motivated the extension — accumulating
+// batch results into a fresh slice inside the drain loop.
+package experiments
+
+import "fmt"
+
+type result struct{ cycles int64 }
+
+type runner struct{ res result }
+
+type pool struct {
+	free    []*runner
+	results []result
+}
+
+func (p *pool) get() *runner {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return new(runner) // amortized: only taken until the pool warms up
+}
+
+// simulate is the per-cell dispatch onto a pooled machine.
+//
+// declint:hotpath
+func (p *pool) simulate(cost int64) result {
+	r := p.get()
+	r.res.cycles = cost
+	out := r.res
+	p.free = append(p.free, r)
+	return out
+}
+
+// runBatch drains a batch of cells through the pooled machines.
+//
+// declint:hotpath
+func (p *pool) runBatch(costs []int64) []result {
+	p.results = p.results[:0]
+	var fresh []result
+	for _, c := range costs {
+		fresh = append(fresh, p.simulate(c)) // want "append to fresh allocates in hot path runBatch"
+		p.results = append(p.results, p.simulate(c))
+	}
+	_ = fresh
+	return p.results
+}
+
+// report renders a finished batch; it carries no directive and is never
+// reached from a hot root, so its formatting stays legal.
+func (p *pool) report() string {
+	return fmt.Sprintf("%d results", len(p.results))
+}

@@ -11,7 +11,16 @@ type Q struct {
 }
 
 func New(capacity int) *Q {
-	return &Q{buf: make([]int, 0, capacity)}
+	q := new(Q)
+	q.Init(capacity)
+	return q
+}
+
+// Init is the in-place constructor pooled arenas use; an approved mutator.
+func (q *Q) Init(capacity int) {
+	q.buf = make([]int, 0, capacity)
+	q.n = 0
+	q.stat = 0
 }
 
 func (q *Q) account() {

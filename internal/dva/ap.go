@@ -93,7 +93,7 @@ func (m *machine) apScalarALU(in *isa.Inst) {
 	if in.Dst.Kind == isa.RegA {
 		m.aReady[in.Dst.Idx] = m.now + 1
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -110,7 +110,7 @@ func (m *machine) apBranch(in *isa.Inst) {
 	if !m.afbq.Push(m.now, in.Seq) {
 		panic("dva: AFBQ push failed after capacity check")
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -209,7 +209,7 @@ func (m *machine) apScalarLoad(in *isa.Inst) {
 	} else {
 		m.aReady[in.Dst.Idx] = dataAt
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -239,7 +239,7 @@ func (m *machine) apScalarStore(in *isa.Inst) {
 	if !m.ssaq.Push(m.now, entry) {
 		panic("dva: SSAQ push failed after capacity check")
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -278,7 +278,7 @@ func (m *machine) apVectorLoad(in *isa.Inst) {
 	if !m.avdq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.AccessLatency(in.Base, in.Seq) + vl}) {
 		panic("dva: AVDQ push failed after capacity check")
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -317,7 +317,7 @@ func (m *machine) apTryBypass(in *isa.Inst, storeSeq, vl int64) {
 	m.bypasses++
 	m.bypElems += vl
 	m.rec.Bypass(m.now, in.Seq, vl)
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 
@@ -342,7 +342,7 @@ func (m *machine) apVectorStore(in *isa.Inst) {
 	}) {
 		panic("dva: VSAQ push failed after capacity check")
 	}
-	m.apIQ.Pop(m.now)
+	m.popIQ(&m.apIQ)
 	m.progress()
 }
 

@@ -42,6 +42,11 @@ func (m *machine) stepFetch() {
 		m.progress()
 	}
 
+	if m.plan != nil {
+		m.dispatchPlanned()
+		return
+	}
+
 	if !m.hasPending {
 		in, ok := m.stream.Next()
 		if !ok {
@@ -50,7 +55,7 @@ func (m *machine) stepFetch() {
 		}
 		m.pending = in
 		m.hasPending = true
-		m.countInst(m.pending)
+		countInto(&m.counts, m.pending)
 		// Route once per instruction: the translation depends only on the
 		// pending instruction, so the uop list (pushScratch) and the
 		// per-queue capacity demands (needScratch) stay valid across
@@ -94,21 +99,74 @@ func (m *machine) stepFetch() {
 	m.progress()
 }
 
-func (m *machine) countInst(in *isa.Inst) {
+// dispatchPlanned is stepFetch's dispatch stage over a predecoded plan: the
+// next instruction's uops and per-queue slot demands are table entries, so
+// fetching costs an index bump and the blocked re-check at most three
+// capacity comparisons. The behaviour is identical to the route() path —
+// the plan is built by running route() over the trace once.
+func (m *machine) dispatchPlanned() {
+	if !m.hasPending {
+		if m.planPos >= len(m.plan.insts) {
+			m.streamDone = true
+			return
+		}
+		m.pending = &m.plan.insts[m.planPos]
+		m.hasPending = true
+	}
+	// A capacity-blocked dispatch can only be unblocked by an instruction
+	// queue pop (capacity moves no other way), so until popIQ reports one
+	// the re-check is a single flag test.
+	if m.dispBlocked && !m.iqFreed {
+		m.stall(sim.StallFPDispatch)
+		return
+	}
+	e := &m.plan.entries[m.planPos]
+	// All destination queues must have room for their share of the pushes;
+	// the dispatch is atomic.
+	if (e.need[planAP] > 0 && m.apIQ.Cap()-m.apIQ.Len() < int(e.need[planAP])) ||
+		(e.need[planSP] > 0 && m.spIQ.Cap()-m.spIQ.Len() < int(e.need[planSP])) ||
+		(e.need[planVP] > 0 && m.vpIQ.Cap()-m.vpIQ.Len() < int(e.need[planVP])) {
+		// Pops observed up to here were consumed by this (failed) check; the
+		// next one starts a fresh wait.
+		m.dispBlocked = true
+		m.iqFreed = false
+		m.stall(sim.StallFPDispatch)
+		return
+	}
+	m.dispBlocked = false
+	in := m.pending
+	for k := 0; k < int(e.n); k++ {
+		op := e.ops[k]
+		if !m.planQ(op.qid).Push(m.now, uop{kind: op.kind, in: in}) {
+			panic("dva: dispatch push failed after capacity check")
+		}
+	}
+	if m.rec != nil {
+		m.rec.Issue(m.now, sim.ProcFP, in.Seq, in.Class.String())
+	}
+	m.planPos++
+	m.hasPending = false
+	m.progress()
+}
+
+// countInto accumulates in's Table 1 instruction counts into c. The stream
+// fetch path tallies per instruction; the plan builder tallies the whole
+// trace once.
+func countInto(c *sim.Counts, in *isa.Inst) {
 	if in.IsVector() {
-		m.counts.VectorInsts++
-		m.counts.VectorOps += int64(in.VL)
+		c.VectorInsts++
+		c.VectorOps += int64(in.VL)
 	} else {
-		m.counts.ScalarInsts++
+		c.ScalarInsts++
 	}
 	if in.Class.IsMemory() {
-		m.counts.MemInsts++
+		c.MemInsts++
 		if in.Spill {
-			m.counts.SpillMemOps++
+			c.SpillMemOps++
 		}
 	}
 	if in.BBEnd {
-		m.counts.BasicBlocks++
+		c.BasicBlocks++
 	}
 }
 
@@ -119,57 +177,57 @@ func (m *machine) route(ps []push, in *isa.Inst) []push {
 	exec := uop{kind: uExec, in: in}
 	switch in.Class {
 	case isa.ClassNop, isa.ClassVSetVL, isa.ClassVSetVS:
-		return append(ps, push{m.spIQ, exec})
+		return append(ps, push{&m.spIQ, exec})
 
 	case isa.ClassScalarALU, isa.ClassBranch:
 		if involvesA(in) {
-			ps = append(ps, push{m.apIQ, exec})
+			ps = append(ps, push{&m.apIQ, exec})
 			// The AP receives S-register operands through the SAAQ.
 			for _, src := range [...]isa.Reg{in.Src1, in.Src2} {
 				if src.Kind == isa.RegS {
-					ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSAA, in: in}})
+					ps = append(ps, push{&m.spIQ, uop{kind: uQMovStoSAA, in: in}})
 				}
 			}
 			return ps
 		}
-		return append(ps, push{m.spIQ, exec})
+		return append(ps, push{&m.spIQ, exec})
 
 	case isa.ClassScalarLoad:
-		ps = append(ps, push{m.apIQ, exec})
+		ps = append(ps, push{&m.apIQ, exec})
 		if in.Dst.Kind == isa.RegS {
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovAStoS, in: in}})
+			ps = append(ps, push{&m.spIQ, uop{kind: uQMovAStoS, in: in}})
 		}
 		return ps
 
 	case isa.ClassScalarStore:
-		ps = append(ps, push{m.apIQ, exec})
+		ps = append(ps, push{&m.apIQ, exec})
 		if in.Dst.Kind == isa.RegS {
 			// The data travels SP -> SADQ -> store engine.
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSA, in: in}})
+			ps = append(ps, push{&m.spIQ, uop{kind: uQMovStoSA, in: in}})
 		}
 		return ps
 
 	case isa.ClassVectorLoad, isa.ClassGather:
 		return append(ps,
-			push{m.apIQ, exec},
-			push{m.vpIQ, uop{kind: uQMovAVtoV, in: in}})
+			push{&m.apIQ, exec},
+			push{&m.vpIQ, uop{kind: uQMovAVtoV, in: in}})
 
 	case isa.ClassVectorStore, isa.ClassScatter:
 		return append(ps,
-			push{m.vpIQ, uop{kind: uQMovVtoVA, in: in}},
-			push{m.apIQ, exec})
+			push{&m.vpIQ, uop{kind: uQMovVtoVA, in: in}},
+			push{&m.apIQ, exec})
 
 	case isa.ClassVectorALU:
-		ps = append(ps, push{m.vpIQ, exec})
+		ps = append(ps, push{&m.vpIQ, exec})
 		if in.Src2.Kind == isa.RegS {
-			ps = append(ps, push{m.spIQ, uop{kind: uQMovStoSV, in: in}})
+			ps = append(ps, push{&m.spIQ, uop{kind: uQMovStoSV, in: in}})
 		}
 		return ps
 
 	case isa.ClassReduce:
 		return append(ps,
-			push{m.vpIQ, exec},
-			push{m.spIQ, uop{kind: uQMovVStoS, in: in}})
+			push{&m.vpIQ, exec},
+			push{&m.spIQ, uop{kind: uQMovVStoS, in: in}})
 
 	default:
 		panic(fmt.Sprintf("dva: unroutable instruction %s", in))

@@ -15,12 +15,19 @@ import (
 
 // machine is the complete state of one decoupled-architecture simulation.
 type machine struct {
-	cfg   sim.Config
-	now   int64
-	bus   *mem.Bus
-	cache *mem.Cache
+	cfg sim.Config
+	now int64
+	// The bus, cache, and the architectural queues below are embedded by
+	// value: every per-cycle probe then indexes into the one machine
+	// allocation instead of chasing a pointer per structure.
+	bus   mem.Bus
+	cache mem.Cache
 
-	// Fetch processor.
+	// Fetch processor. A Slice source (the common case) is replayed through
+	// its shared predecoded dispatch plan (plan/planPos); any other Source
+	// falls back to the stream + per-instruction route() path.
+	plan       *dispatchPlan
+	planPos    int
 	stream     trace.Stream
 	streamDone bool
 	pending    *isa.Inst
@@ -31,15 +38,15 @@ type machine struct {
 	needScratch []queueNeed
 
 	// Instruction queues.
-	apIQ, spIQ, vpIQ *queue.Q[uop]
+	apIQ, spIQ, vpIQ queue.Q[uop]
 	// Vector data queues.
-	avdq, vadq *queue.Q[vslot]
+	avdq, vadq queue.Q[vslot]
 	// Scalar data queues.
-	asdq, sadq, svdq, vsdq, saaq *queue.Q[sslot]
+	asdq, sadq, svdq, vsdq, saaq queue.Q[sslot]
 	// Store address queues.
-	ssaq, vsaq *queue.Q[storeAddr]
+	ssaq, vsaq queue.Q[storeAddr]
 	// Branch result queues back to the FP.
-	afbq, sfbq *queue.Q[int64]
+	afbq, sfbq queue.Q[int64]
 
 	// Address processor.
 	aReady          [isa.NumARegs]int64
@@ -69,11 +76,18 @@ type machine struct {
 	sReady [isa.NumSRegs]int64
 
 	// Vector processor.
-	vRegs    [isa.NumVRegs]vreg
-	fu1Busy  int64
-	fu2Busy  int64
+	vRegs   [isa.NumVRegs]vreg
+	fu1Busy int64
+	fu2Busy int64
 	qmovBusy []int64
-	drains   []drain
+	// drains is a fixed ring of in-flight AVDQ→V-register QMOV completions,
+	// FIFO by drainHead/drainLen. Every drain owns the AVDQ slot it is
+	// emptying, so occupancy is bounded by the AVDQ capacity and the ring
+	// never reallocates (a plain append/reslice pair here was the dominant
+	// allocation of a recorder-off run).
+	drains    []drain
+	drainHead int
+	drainLen  int
 
 	// Measurements.
 	states   sim.StateStats
@@ -90,15 +104,24 @@ type machine struct {
 	rec *sim.Recorder
 
 	lastProgress int64
-	// cycleStalls lists the stall reasons recorded during the current cycle,
-	// in emission order. On a cycle with no progress every later cycle up to
-	// the event horizon repeats them exactly, so the idle-skip fast path
-	// replays this list over the whole skipped span.
-	cycleStalls []sim.StallReason
+	// cycleStalls[:nCycleStalls] lists the stall reasons recorded during the
+	// current cycle, in emission order. On a cycle with no progress every
+	// later cycle up to the event horizon repeats them exactly, so the
+	// idle-skip fast path replays this list over the whole skipped span. A
+	// fixed array: each unit stalls at most once per cycle, so the hot
+	// stall() path is two stores instead of an append.
+	cycleStalls  [8]sim.StallReason
+	nCycleStalls int32
 	// mutated marks a cycle that changed machine state without making
 	// progress (hazard-flush initiation). The cycle after such a mutation
 	// stalls differently, so it must not seed an idle skip.
 	mutated bool
+	// dispBlocked marks the fetch processor as capacity-blocked: its pending
+	// instruction found an instruction queue too full. Only an IQ pop can
+	// change that verdict, so popIQ raises iqFreed and the blocked dispatch
+	// skips its table and capacity loads until then (see dispatchPlanned).
+	dispBlocked bool
+	iqFreed     bool
 	// drainBusy caches the tail busy-horizon computed by finished() once the
 	// streams and queues have fully drained (nothing can make progress after
 	// that); -1 until then. Near-drain cycles then cost one comparison
@@ -114,6 +137,31 @@ type machine struct {
 	horizon2OK bool
 }
 
+// drainFront returns a pointer to the oldest in-flight drain. Callers check
+// drainLen > 0 first.
+func (m *machine) drainFront() *drain {
+	return &m.drains[m.drainHead]
+}
+
+// pushDrain enqueues a drain completion. The ring is sized to the AVDQ, and
+// every drain holds an AVDQ slot, so overflow is impossible by construction.
+func (m *machine) pushDrain(d drain) {
+	i := m.drainHead + m.drainLen
+	if i >= len(m.drains) {
+		i -= len(m.drains)
+	}
+	m.drains[i] = d
+	m.drainLen++
+}
+
+// popDrain retires the oldest in-flight drain.
+func (m *machine) popDrain() {
+	if m.drainHead++; m.drainHead >= len(m.drains) {
+		m.drainHead = 0
+	}
+	m.drainLen--
+}
+
 // Run simulates the trace on the decoupled vector architecture under cfg
 // (set cfg.Bypass for the §7 bypass variant) and returns the measured
 // result. It returns an error for invalid configurations or if the machine
@@ -127,40 +175,12 @@ func Run(src trace.Source, cfg sim.Config) (*sim.Result, error) {
 // additionally collects the cycle-stamped event stream (issues, stalls,
 // queue pushes/pops, bus grants, bypasses, flushes).
 func RunRecorded(src trace.Source, cfg sim.Config, rec *sim.Recorder) (*sim.Result, error) {
-	if err := cfg.Validate(); err != nil {
+	var r Runner
+	res := new(sim.Result)
+	if err := r.RunRecordedInto(res, src, cfg, rec); err != nil {
 		return nil, err
 	}
-	m := newMachine(src, cfg)
-	if rec != nil {
-		m.rec = rec
-		for _, q := range m.allQueues() {
-			q.SetObserver(rec)
-		}
-	}
-	if err := m.run(); err != nil {
-		return nil, fmt.Errorf("dva: %s on %s: %w", cfg.String(), src.Name(), err)
-	}
-	arch := "DVA"
-	if cfg.Bypass {
-		arch = "BYP"
-	}
-	return &sim.Result{
-		Arch:              arch,
-		Config:            cfg,
-		Cycles:            m.now,
-		States:            m.states,
-		Counts:            m.counts,
-		Traffic:           m.traffic,
-		AVDQBusy:          m.avdqHist,
-		VADQBusy:          m.vadqHist,
-		Bypasses:          m.bypasses,
-		BypassedElems:     m.bypElems,
-		Flushes:           m.flushes,
-		ScalarCacheHits:   m.cache.Hits,
-		ScalarCacheMisses: m.cache.Misses,
-		Stalls:            m.stalls,
-		Queues:            m.queueStats(),
-	}, nil
+	return res, nil
 }
 
 // queueMeta is the statistics surface every architectural queue exposes,
@@ -179,58 +199,43 @@ type queueMeta interface {
 // allQueues lists every architectural queue of the machine.
 func (m *machine) allQueues() []queueMeta {
 	return []queueMeta{
-		m.apIQ, m.spIQ, m.vpIQ,
-		m.avdq, m.vadq,
-		m.asdq, m.sadq, m.svdq, m.vsdq, m.saaq,
-		m.ssaq, m.vsaq,
-		m.afbq, m.sfbq,
+		&m.apIQ, &m.spIQ, &m.vpIQ,
+		&m.avdq, &m.vadq,
+		&m.asdq, &m.sadq, &m.svdq, &m.vsdq, &m.saaq,
+		&m.ssaq, &m.vsaq,
+		&m.afbq, &m.sfbq,
 	}
-}
-
-// queueStats summarizes every queue's occupancy over the finished run.
-func (m *machine) queueStats() []sim.QueueStat {
-	qs := make([]sim.QueueStat, 0, 14)
-	for _, q := range m.allQueues() {
-		qs = append(qs, sim.QueueStat{
-			Name:       q.Name(),
-			Cap:        q.Cap(),
-			Pushes:     q.Pushes(),
-			Pops:       q.Pops(),
-			Peak:       q.PeakLen(),
-			MeanLen:    q.MeanLen(m.now),
-			FullCycles: q.FullCycles(m.now),
-		})
-	}
-	return qs
 }
 
 func newMachine(src trace.Source, cfg sim.Config) *machine {
 	sq := cfg.ScalarQSize
-	return &machine{
+	m := &machine{
 		cfg:          cfg,
-		bus:          mem.NewBus(cfg.MemPorts),
-		cache:        mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
-		stream:       src.Stream(),
-		apIQ:         queue.New[uop]("APIQ", cfg.IQSize),
-		spIQ:         queue.New[uop]("SPIQ", cfg.IQSize),
-		vpIQ:         queue.New[uop]("VPIQ", cfg.IQSize),
-		avdq:         queue.New[vslot]("AVDQ", cfg.AVDQSize),
-		vadq:         queue.New[vslot]("VADQ", cfg.VADQSize),
-		asdq:         queue.New[sslot]("ASDQ", sq),
-		sadq:         queue.New[sslot]("SADQ", sq),
-		svdq:         queue.New[sslot]("SVDQ", sq),
-		vsdq:         queue.New[sslot]("VSDQ", sq),
-		saaq:         queue.New[sslot]("SAAQ", sq),
-		ssaq:         queue.New[storeAddr]("SSAQ", sq),
-		vsaq:         queue.New[storeAddr]("VSAQ", cfg.EffVSAQSize()),
-		afbq:         queue.New[int64]("AFBQ", sq),
-		sfbq:         queue.New[int64]("SFBQ", sq),
 		flushWaitSeq: -1,
 		drainBusy:    -1,
 		qmovBusy:     make([]int64, cfg.QMovUnits),
+		drains:       make([]drain, cfg.AVDQSize),
 		avdqHist:     sim.NewHistogram(cfg.AVDQSize),
 		vadqHist:     sim.NewHistogram(cfg.VADQSize),
 	}
+	m.bus.Init(cfg.MemPorts)
+	m.cache.Init(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes)
+	m.apIQ.Init("APIQ", cfg.IQSize)
+	m.spIQ.Init("SPIQ", cfg.IQSize)
+	m.vpIQ.Init("VPIQ", cfg.IQSize)
+	m.avdq.Init("AVDQ", cfg.AVDQSize)
+	m.vadq.Init("VADQ", cfg.VADQSize)
+	m.asdq.Init("ASDQ", sq)
+	m.sadq.Init("SADQ", sq)
+	m.svdq.Init("SVDQ", sq)
+	m.vsdq.Init("VSDQ", sq)
+	m.saaq.Init("SAAQ", sq)
+	m.ssaq.Init("SSAQ", sq)
+	m.vsaq.Init("VSAQ", cfg.EffVSAQSize())
+	m.afbq.Init("AFBQ", sq)
+	m.sfbq.Init("SFBQ", sq)
+	m.setStream(src)
+	return m
 }
 
 // deadlockWindow is how many cycles without any progress the machine
@@ -251,7 +256,7 @@ func (m *machine) run() error {
 	// per-cycle deadlock window stays a valid (conservative) bound.
 	var idleSteps int64
 	for {
-		m.cycleStalls = m.cycleStalls[:0]
+		m.nCycleStalls = 0
 		m.mutated = false
 		m.stepFetch()
 		// Loads normally have first claim on the address bus (they sit on
@@ -268,8 +273,13 @@ func (m *machine) run() error {
 		}
 		m.stepSP()
 		m.stepVP()
-		if len(m.drains) > 0 {
+		if m.drainLen > 0 {
 			m.completeDrains()
+		}
+		// Batched counterpart of stall(): one pass tallies the cycle's stall
+		// reasons, before finished() so a terminal cycle still counts.
+		for _, r := range m.cycleStalls[:m.nCycleStalls] {
+			m.stalls[r]++
 		}
 		if m.finished() {
 			return nil
@@ -295,11 +305,12 @@ func (m *machine) run() error {
 		// each cycle until the event horizon — jump there in one step,
 		// accounting the skipped span in bulk. SlowTick keeps the plain
 		// per-cycle loop as the reference mode the equivalence suite checks
-		// this path against. The second-idle-iteration gate keeps the
-		// horizon scan off the ubiquitous one-cycle gaps of dense code,
-		// where it could never pay for itself; the skipped-over cycle is
-		// accounted identically either way.
-		if fast && !m.mutated && idleSteps >= 2 {
+		// this path against. Scanning on the very first idle iteration pays
+		// off because idle gaps are overwhelmingly multi-cycle (memory
+		// latencies, vector-length occupancies): eagerly skipping them saves
+		// a full all-units iteration per gap, while the rare one-cycle gap
+		// only costs the (cheaper) scan.
+		if fast && !m.mutated && idleSteps >= 1 {
 			var h int64
 			if m.horizon2OK && m.horizon2 >= m.now {
 				// The machine woke at the previous horizon and idled straight
@@ -336,43 +347,32 @@ func (m *machine) horizon() int64 {
 	// both in locals; these comparisons are the hottest straight-line code
 	// of the fast path.
 	h, h2 := inf, inf
-	lower := func(t int64) {
-		if t < now || t == h {
-			return
-		}
-		if t < h {
-			h2 = h
-			h = t
-		} else if t < h2 {
-			h2 = t
-		}
-	}
-	lower(m.fu1Busy)
-	lower(m.fu2Busy)
+	h, h2 = lower2(h, h2, now, m.fu1Busy)
+	h, h2 = lower2(h, h2, now, m.fu2Busy)
 	for _, t := range m.qmovBusy {
-		lower(t)
+		h, h2 = lower2(h, h2, now, t)
 	}
-	lower(m.bypassBusyUntil)
-	lower(m.bus.FreeCycle())
+	h, h2 = lower2(h, h2, now, m.bypassBusyUntil)
+	h, h2 = lower2(h, h2, now, m.bus.FreeCycle())
 	if m.storeActive {
-		lower(m.storeDoneAt)
+		h, h2 = lower2(h, h2, now, m.storeDoneAt)
 	}
-	if len(m.drains) > 0 {
-		lower(m.drains[0].doneAt)
+	if m.drainLen > 0 {
+		h, h2 = lower2(h, h2, now, m.drainFront().doneAt)
 	}
 	for _, t := range m.aReady {
-		lower(t)
+		h, h2 = lower2(h, h2, now, t)
 	}
 	for _, t := range m.sReady {
-		lower(t)
+		h, h2 = lower2(h, h2, now, t)
 	}
 	chain := m.cfg.ChainDelay
 	for i := range m.vRegs {
 		v := &m.vRegs[i]
-		lower(v.writeReady)
-		lower(v.readBusyUntil)
+		h, h2 = lower2(h, h2, now, v.writeReady)
+		h, h2 = lower2(h, h2, now, v.readBusyUntil)
 		if v.chainable {
-			lower(v.writeStart + chain)
+			h, h2 = lower2(h, h2, now, v.writeStart+chain)
 		}
 	}
 	// Queue entries: only the slots a consumer can actually examine this
@@ -384,9 +384,9 @@ func (m *machine) horizon() int64 {
 	// walked in full. Deeper entries cannot influence any decision before a
 	// pop reshuffles the heads — and a pop is progress, which ends the
 	// skipped span anyway.
-	for _, q := range [...]*queue.Q[sslot]{m.asdq, m.sadq, m.svdq, m.vsdq} {
+	for _, q := range [...]*queue.Q[sslot]{&m.asdq, &m.sadq, &m.svdq, &m.vsdq} {
 		if s, ok := q.Peek(m.now); ok {
-			lower(s.readyAt)
+			h, h2 = lower2(h, h2, now, s.readyAt)
 		}
 	}
 	for i := 0; i < 2; i++ {
@@ -394,19 +394,36 @@ func (m *machine) horizon() int64 {
 		if !ok {
 			break
 		}
-		lower(s.readyAt)
+		h, h2 = lower2(h, h2, now, s.readyAt)
 	}
-	if v, ok := m.avdq.PeekAt(m.now, len(m.drains)); ok {
-		lower(v.readyAt)
+	if v, ok := m.avdq.PeekAt(m.now, m.drainLen); ok {
+		h, h2 = lower2(h, h2, now, v.readyAt)
 	}
-	m.vadq.All(m.now, func(v *vslot) bool { lower(v.readyAt); return true })
-	for _, q := range [...]*queue.Q[storeAddr]{m.ssaq, m.vsaq} {
+	m.vadq.All(m.now, func(v *vslot) bool { h, h2 = lower2(h, h2, now, v.readyAt); return true })
+	for _, q := range [...]*queue.Q[storeAddr]{&m.ssaq, &m.vsaq} {
 		if st, ok := q.Head(m.now); ok && !st.needsData {
-			lower(st.dataReadyAt)
+			h, h2 = lower2(h, h2, now, st.dataReadyAt)
 		}
 	}
 	m.horizon2, m.horizon2OK = h2, h2 < inf
 	return h
+}
+
+// lower2 folds candidate timestamp t into the running (smallest, second
+// smallest) pair of distinct future timestamps. A plain value function —
+// unlike a closure over h/h2 it inlines at every horizon call site and keeps
+// the pair in registers.
+func lower2(h, h2, now, t int64) (int64, int64) {
+	if t < now || t == h {
+		return h, h2
+	}
+	if t < h {
+		return t, h
+	}
+	if t < h2 {
+		return h, t
+	}
+	return h, h2
 }
 
 // skipTo bulk-accounts the idle span [m.now, h) and jumps m.now to h. During
@@ -418,7 +435,7 @@ func (m *machine) horizon() int64 {
 // jump composes exactly.
 func (m *machine) skipTo(h int64) {
 	n := h - m.now
-	for _, r := range m.cycleStalls {
+	for _, r := range m.cycleStalls[:m.nCycleStalls] {
 		m.stalls.Add(r, n)
 		m.rec.StallSpan(m.now, r, n)
 	}
@@ -452,7 +469,7 @@ func (m *machine) finished() bool {
 				return false
 			}
 		}
-		if m.storeActive || len(m.drains) > 0 {
+		if m.storeActive || m.drainLen > 0 {
 			return false
 		}
 		m.drainBusy = m.tailBusy()
@@ -493,15 +510,24 @@ func (m *machine) sample() {
 }
 
 // stall accounts one cycle in which a unit could not make progress and,
-// when recording, emits the matching event. The reason is also noted in
-// cycleStalls so the idle-skip fast path can replay this cycle's stall
-// pattern over a skipped span.
+// when recording, emits the matching event. The reason is noted in
+// cycleStalls; the run loop batches the counter increments once per cycle
+// (keeping this, the most-called function of the stalled phases, under the
+// inlining budget) and the idle-skip fast path replays the same list over a
+// skipped span.
 func (m *machine) stall(r sim.StallReason) {
-	m.stalls[r]++
-	m.cycleStalls = append(m.cycleStalls, r)
+	m.cycleStalls[m.nCycleStalls] = r
+	m.nCycleStalls++
 	if m.rec != nil {
 		m.rec.Stall(m.now, r)
 	}
+}
+
+// popIQ pops one instruction-queue entry, raising the flag a capacity-blocked
+// fetch dispatch waits on. All three instruction queues pop through here.
+func (m *machine) popIQ(q *queue.Q[uop]) {
+	q.Pop(m.now)
+	m.iqFreed = true
 }
 
 // storePressure reports whether either store address queue is at least
@@ -522,11 +548,11 @@ func (m *machine) dumpState() string {
 	if m.hasPending {
 		fmt.Fprintf(&b, "pendingInst=%s ", m.pending.String())
 	}
-	for _, q := range [...]fmt.Stringer{m.apIQ, m.spIQ, m.vpIQ, m.avdq, m.vadq,
-		m.asdq, m.sadq, m.svdq, m.vsdq, m.saaq, m.ssaq, m.vsaq} {
+	for _, q := range [...]fmt.Stringer{&m.apIQ, &m.spIQ, &m.vpIQ, &m.avdq, &m.vadq,
+		&m.asdq, &m.sadq, &m.svdq, &m.vsdq, &m.saaq, &m.ssaq, &m.vsaq} {
 		fmt.Fprintf(&b, "%s ", q)
 	}
-	fmt.Fprintf(&b, "flushWait=%d storeActive=%v drains=%d", m.flushWaitSeq, m.storeActive, len(m.drains))
+	fmt.Fprintf(&b, "flushWait=%d storeActive=%v drains=%d", m.flushWaitSeq, m.storeActive, m.drainLen)
 	if u, ok := m.apIQ.Peek(m.now); ok {
 		fmt.Fprintf(&b, " apHead={%s %s}", u.kind, u.in.String())
 	}

@@ -40,7 +40,7 @@ func (m *machine) stepSP() {
 		}
 		m.asdq.Pop(m.now)
 		m.sReady[in.Dst.Idx] = m.now + 1
-		m.spIQ.Pop(m.now)
+		m.popIQ(&m.spIQ)
 		m.progress()
 	case uQMovVStoS:
 		// VSDQ -> S register: a reduction result computed by the VP.
@@ -54,22 +54,22 @@ func (m *machine) stepSP() {
 		}
 		m.vsdq.Pop(m.now)
 		m.sReady[in.Dst.Idx] = m.now + 1
-		m.spIQ.Pop(m.now)
+		m.popIQ(&m.spIQ)
 		m.progress()
 	case uQMovStoSA:
 		// S register -> SADQ: scalar store data. The data register of a
 		// store travels in Dst.
-		m.spMoveOut(in, in.Dst, m.sadq)
+		m.spMoveOut(in, in.Dst, &m.sadq)
 	case uQMovStoSV:
 		// S register -> SVDQ: the scalar operand of a vector instruction.
-		m.spMoveOut(in, in.Src2, m.svdq)
+		m.spMoveOut(in, in.Src2, &m.svdq)
 	case uQMovStoSAA:
 		// S register -> SAAQ: an operand the AP is waiting for.
 		src := in.Src1
 		if src.Kind != isa.RegS {
 			src = in.Src2
 		}
-		m.spMoveOut(in, src, m.saaq)
+		m.spMoveOut(in, src, &m.saaq)
 	default: // declint:nonexhaustive — the inbound vector-side QMOVs (uQMovAVtoV, uQMovVtoVA) dispatch to the VP, never here
 		panic(fmt.Sprintf("dva: SP cannot execute %s of %s", u.kind, in))
 	}
@@ -94,7 +94,7 @@ func (m *machine) spMoveOut(in *isa.Inst, src isa.Reg, q interface {
 	if !q.Push(m.now, sslot{seq: in.Seq, readyAt: m.now + 1}) {
 		panic("dva: QMOV push failed after capacity check")
 	}
-	m.spIQ.Pop(m.now)
+	m.popIQ(&m.spIQ)
 	m.progress()
 }
 
@@ -132,6 +132,6 @@ func (m *machine) spExec(in *isa.Inst) {
 	default: // declint:nonexhaustive — memory and vector classes route to the AP/VP; reaching here is a routing bug
 		panic(fmt.Sprintf("dva: SP cannot execute class %s", in.Class))
 	}
-	m.spIQ.Pop(m.now)
+	m.popIQ(&m.spIQ)
 	m.progress()
 }

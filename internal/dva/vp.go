@@ -40,15 +40,15 @@ func (m *machine) stepVP() {
 // completeDrains releases AVDQ slots whose draining QMOV has finished.
 // Slots are freed in FIFO order, so a short drain behind a long one waits.
 func (m *machine) completeDrains() {
-	for len(m.drains) > 0 && m.drains[0].doneAt <= m.now {
+	for m.drainLen > 0 && m.drainFront().doneAt <= m.now {
 		v, ok := m.avdq.Pop(m.now)
 		if !ok {
 			panic("dva: AVDQ underflow at drain completion")
 		}
-		if v.seq != m.drains[0].seq {
-			panic(fmt.Sprintf("dva: AVDQ head seq %d at drain of %d", v.seq, m.drains[0].seq))
+		if v.seq != m.drainFront().seq {
+			panic(fmt.Sprintf("dva: AVDQ head seq %d at drain of %d", v.seq, m.drainFront().seq))
 		}
-		m.drains = m.drains[1:]
+		m.popDrain()
 		m.progress()
 	}
 }
@@ -92,7 +92,7 @@ func (m *machine) markVRead(r isa.Reg, vl int64) {
 // register being filled.
 func (m *machine) vpQMovLoad(in *isa.Inst) {
 	// The next undrained AVDQ entry must be this QMOV's vector.
-	idx := len(m.drains)
+	idx := m.drainLen
 	v, ok := m.avdq.PeekAt(m.now, idx)
 	if !ok || v.readyAt > m.now {
 		m.stall(sim.StallVPAVDQ)
@@ -112,12 +112,12 @@ func (m *machine) vpQMovLoad(in *isa.Inst) {
 	}
 	vl := int64(in.VL)
 	m.qmovBusy[unit] = m.now + vl
-	m.drains = append(m.drains, drain{seq: in.Seq, doneAt: m.now + vl})
+	m.pushDrain(drain{seq: in.Seq, doneAt: m.now + vl})
 	reg := &m.vRegs[in.Dst.Idx]
 	reg.writeStart = m.now
 	reg.writeReady = m.now + m.cfg.QMovDepth + vl
 	reg.chainable = true
-	m.vpIQ.Pop(m.now)
+	m.popIQ(&m.vpIQ)
 	m.progress()
 }
 
@@ -143,7 +143,7 @@ func (m *machine) vpQMovStore(in *isa.Inst) {
 	if !m.vadq.Push(m.now, vslot{seq: in.Seq, vl: vl, readyAt: m.now + m.cfg.QMovDepth + vl}) {
 		panic("dva: VADQ push failed after capacity check")
 	}
-	m.vpIQ.Pop(m.now)
+	m.popIQ(&m.vpIQ)
 	m.progress()
 }
 
@@ -206,6 +206,6 @@ func (m *machine) vpExec(in *isa.Inst) {
 		reg.writeReady = m.now + m.cfg.Depth(in.Op) + vl
 		reg.chainable = true
 	}
-	m.vpIQ.Pop(m.now)
+	m.popIQ(&m.vpIQ)
 	m.progress()
 }

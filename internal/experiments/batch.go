@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"decvec/internal/dva"
+	"decvec/internal/ooo"
+	"decvec/internal/ref"
+	"decvec/internal/sim"
+	"decvec/internal/trace"
+	"decvec/internal/workload"
+)
+
+// Pooled per-core run arenas, shared by every suite in the process. A
+// Runner keeps one machine's worth of queues, scoreboards and scratch alive
+// across runs and resets it in place (the Reset contract in
+// internal/sim/arena.go), so a sweep's ten-thousandth simulation allocates
+// exactly as much as its second: nothing. The pools are process-global
+// because runners carry no cross-run state — every run re-seeds the machine
+// from its config alone.
+var (
+	refRunners sim.RunPool[*ref.Runner]
+	dvaRunners sim.RunPool[*dva.Runner]
+	oooRunners sim.RunPool[*ooo.Runner]
+)
+
+var errUnknownArch = errors.New("experiments: unknown architecture")
+
+func getRefRunner() *ref.Runner {
+	if r, ok := refRunners.Get(); ok {
+		return r
+	}
+	return ref.NewRunner()
+}
+
+func getDVARunner() *dva.Runner {
+	if r, ok := dvaRunners.Get(); ok {
+		return r
+	}
+	return dva.NewRunner()
+}
+
+func getOOORunner() *ooo.Runner {
+	if r, ok := oooRunners.Get(); ok {
+		return r
+	}
+	return ooo.NewRunner()
+}
+
+// simulateArch performs one uncached simulator invocation on a pooled
+// machine. This is the batch hot loop: everything per run up to the core's
+// own (hot-path-gated) stepping must stay allocation-free, so the function
+// sits under the hotalloc gate. A runner is returned to its pool even when
+// the run fails — reset restores it either way.
+// declint:hotpath
+func simulateArch(tr trace.Source, arch Arch, cfg sim.Config) (*sim.Result, error) {
+	switch arch {
+	case REF:
+		rn := getRefRunner()
+		r, err := rn.Run(tr, cfg)
+		refRunners.Put(rn)
+		return r, err
+	case DVA:
+		rn := getDVARunner()
+		r, err := rn.Run(tr, cfg)
+		dvaRunners.Put(rn)
+		return r, err
+	default:
+		return nil, errUnknownArch
+	}
+}
+
+// simulateOOO is simulateArch for the out-of-order extension.
+// declint:hotpath
+func simulateOOO(tr trace.Source, cfg ooo.Config) (*sim.Result, error) {
+	rn := getOOORunner()
+	r, err := rn.Run(tr, cfg)
+	oooRunners.Put(rn)
+	return r, err
+}
+
+// BatchJob is one simulation of a batch: a program run on an architecture
+// under a configuration.
+type BatchJob struct {
+	Program *workload.Program
+	Arch    Arch
+	Cfg     sim.Config
+}
+
+// RunBatch steps many independent traces through the pooled machines and
+// returns the results in job order. The batch is staged for throughput:
+//
+//   - cold: every distinct trace is materialized once, across the CPUs;
+//   - hot: duplicate (program, arch, config) cells are collapsed, grouped
+//     by trace so consecutive runs on a worker replay an instruction slab
+//     that is already cache-hot, ordered longest-expected-first, and
+//     drained by a worker pool in which every simulation reuses a pooled
+//     machine (through the suite's singleflight and disk tiers, so a batch
+//     shares results with — and publishes results to — every other caller).
+//
+// Errors do not mask each other: all cells run, and the joined aggregate is
+// returned. Cancellation skips cells not yet started.
+func (s *Suite) RunBatch(ctx context.Context, jobs []BatchJob) ([]*sim.Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	// Cold phase: materialize every distinct trace in parallel, so no hot
+	// worker ever stalls generating instructions.
+	progs := make(map[string]*workload.Program, 8)
+	mats := make([]func() error, 0, 8)
+	for _, j := range jobs {
+		if _, ok := progs[j.Program.Name]; ok {
+			continue
+		}
+		progs[j.Program.Name] = j.Program
+		p := j.Program
+		mats = append(mats, func() error {
+			p.CachedTrace(s.Scale)
+			return nil
+		})
+	}
+	if err := parallelCtx(ctx, mats); err != nil {
+		return nil, err
+	}
+
+	// Collapse duplicate cells; remember every distinct one once.
+	type cell struct {
+		p    *workload.Program
+		arch Arch
+		cfg  sim.Config
+		cost int64
+	}
+	key := func(j BatchJob) suiteKey {
+		cfg := j.Cfg
+		if s.SlowTick {
+			cfg.SlowTick = true
+		}
+		return suiteKey{program: j.Program.Name, arch: j.Arch, cfg: cfg}
+	}
+	cells := make(map[suiteKey]cell, len(jobs))
+	order := make([]suiteKey, 0, len(jobs))
+	progCost := make(map[string]int64, len(progs))
+	for _, j := range jobs {
+		k := key(j)
+		if _, ok := cells[k]; ok {
+			continue
+		}
+		c := cell{
+			p:    j.Program,
+			arch: j.Arch,
+			cfg:  j.Cfg,
+			cost: int64(j.Program.CachedTrace(s.Scale).Len()) * j.Cfg.MemLatency,
+		}
+		cells[k] = c
+		order = append(order, k)
+		progCost[j.Program.Name] += c.cost
+	}
+
+	// Batched interleave: all of one trace's cells run back to back (its
+	// instruction slab stays hot in cache), heaviest trace first, and within
+	// a trace heaviest cell first, so the long simulations start immediately
+	// and short ones fill the remaining worker capacity.
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.program != b.program {
+			ca, cb := progCost[a.program], progCost[b.program]
+			if ca != cb {
+				return ca > cb
+			}
+			return a.program < b.program
+		}
+		return cells[a].cost > cells[b].cost
+	})
+
+	// Hot phase: drain the cells across the CPUs. RunCtx supplies the
+	// singleflight and cache tiers; the simulation itself lands on a pooled
+	// machine via simulateArch.
+	fns := make([]func() error, len(order))
+	for i, k := range order {
+		c := cells[k]
+		fns[i] = func() error {
+			_, err := s.RunCtx(ctx, c.p, c.arch, c.cfg)
+			return err
+		}
+	}
+	if err := parallelCtx(ctx, fns); err != nil {
+		return nil, err
+	}
+
+	// Collect in job order; every cell is cached now, so this is pure
+	// lookup.
+	out := make([]*sim.Result, len(jobs))
+	for i, j := range jobs {
+		r, err := s.RunCtx(ctx, j.Program, j.Arch, j.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -13,13 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
-	"decvec/internal/dva"
 	"decvec/internal/ideal"
 	"decvec/internal/ooo"
-	"decvec/internal/ref"
 	"decvec/internal/sim"
 	"decvec/internal/simcache"
 	"decvec/internal/trace"
@@ -191,6 +188,9 @@ func (s *Suite) RunCtx(ctx context.Context, p *workload.Program, arch Arch, cfg 
 		cfg.SlowTick = true
 	}
 	key := suiteKey{program: p.Name, arch: arch, cfg: cfg}
+	if r, ok := s.runs.get(key); ok {
+		return r, nil
+	}
 	return s.runs.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
 		return s.cachedSimulate(ctx, p, string(arch), cfg, "", func(ctx context.Context) (*sim.Result, error) {
 			return s.simulate(ctx, p, arch, cfg)
@@ -205,6 +205,9 @@ func (s *Suite) RunOOOCtx(ctx context.Context, p *workload.Program, cfg ooo.Conf
 		cfg.SlowTick = true
 	}
 	key := oooSuiteKey{program: p.Name, cfg: cfg}
+	if r, ok := s.oooRuns.get(key); ok {
+		return r, nil
+	}
 	return s.oooRuns.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
 		extra := fmt.Sprintf("window=%d physregs=%d", cfg.Window, cfg.PhysRegs)
 		return s.cachedSimulate(ctx, p, "OOO", cfg.Config, extra, func(ctx context.Context) (*sim.Result, error) {
@@ -214,7 +217,7 @@ func (s *Suite) RunOOOCtx(ctx context.Context, p *workload.Program, cfg ooo.Conf
 			}
 			defer release()
 			s.countSim()
-			r, err := ooo.Run(p.CachedTrace(s.Scale), cfg)
+			r, err := simulateOOO(p.CachedTrace(s.Scale), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: OOO on %s: %w", p.Name, err)
 			}
@@ -237,6 +240,9 @@ func (s *Suite) RunSourceCtx(ctx context.Context, src *trace.Slice, arch Arch, c
 		return nil, fmt.Errorf("experiments: hashing trace %s: %w", src.Name(), err)
 	}
 	key := sourceKey{hash: th, arch: arch, cfg: cfg}
+	if r, ok := s.sources.get(key); ok {
+		return r, nil
+	}
 	return s.sources.do(ctx, key, func(ctx context.Context) (*sim.Result, error) {
 		simulate := func(ctx context.Context) (*sim.Result, error) {
 			return s.simulateSource(ctx, src, arch, cfg)
@@ -314,7 +320,8 @@ func (s *Suite) traceHash(p *workload.Program) ([32]byte, error) {
 	return h, nil
 }
 
-// simulate performs one uncached simulator invocation of a workload program.
+// simulate performs one uncached simulator invocation of a workload program
+// on a pooled machine.
 func (s *Suite) simulate(ctx context.Context, p *workload.Program, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -322,19 +329,7 @@ func (s *Suite) simulate(ctx context.Context, p *workload.Program, arch Arch, cf
 	}
 	defer release()
 	s.countSim()
-	tr := p.CachedTrace(s.Scale)
-	var (
-		r    *sim.Result
-		rerr error
-	)
-	switch arch {
-	case REF:
-		r, rerr = ref.Run(tr, cfg)
-	case DVA:
-		r, rerr = dva.Run(tr, cfg)
-	default:
-		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
-	}
+	r, rerr := simulateArch(p.CachedTrace(s.Scale), arch, cfg)
 	if rerr != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, p.Name, rerr)
 	}
@@ -342,7 +337,7 @@ func (s *Suite) simulate(ctx context.Context, p *workload.Program, arch Arch, cf
 }
 
 // simulateSource performs one uncached simulator invocation of an arbitrary
-// trace.
+// trace on a pooled machine.
 func (s *Suite) simulateSource(ctx context.Context, src *trace.Slice, arch Arch, cfg sim.Config) (*sim.Result, error) {
 	release, err := s.admit(ctx)
 	if err != nil {
@@ -350,18 +345,7 @@ func (s *Suite) simulateSource(ctx context.Context, src *trace.Slice, arch Arch,
 	}
 	defer release()
 	s.countSim()
-	var (
-		r    *sim.Result
-		rerr error
-	)
-	switch arch {
-	case REF:
-		r, rerr = ref.Run(src, cfg)
-	case DVA:
-		r, rerr = dva.Run(src, cfg)
-	default:
-		return nil, fmt.Errorf("experiments: unknown architecture %q", arch)
-	}
+	r, rerr := simulateArch(src, arch, cfg)
 	if rerr != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", arch, src.Name(), rerr)
 	}
@@ -372,6 +356,9 @@ func (s *Suite) simulateSource(ctx context.Context, src *trace.Slice, arch Arch,
 // Concurrent calls for the same program share a single computation; ctx
 // bounds the wait on a coalesced in-flight one.
 func (s *Suite) Ideal(ctx context.Context, p *workload.Program) ideal.Bound {
+	if b, ok := s.ideals.get(p.Name); ok {
+		return b
+	}
 	b, _ := s.ideals.do(ctx, p.Name, func(context.Context) (ideal.Bound, error) {
 		return ideal.Compute(p.CachedTrace(s.Scale)), nil
 	})
@@ -407,6 +394,16 @@ func newFlightGroup[K comparable, V any]() flightGroup[K, V] {
 		cache:    make(map[K]V),
 		inflight: make(map[K]*flightCall[V]),
 	}
+}
+
+// get returns the cached value for key without joining or starting a
+// computation. The figure drivers re-query every cell of a warmed grid, so
+// this hit path stays free of the closure and flight bookkeeping do needs.
+func (g *flightGroup[K, V]) get(key K) (V, bool) {
+	g.mu.Lock()
+	v, ok := g.cache[key]
+	g.mu.Unlock()
+	return v, ok
 }
 
 // do returns the cached value for key, joins an in-flight computation, or
@@ -513,48 +510,17 @@ type RunSpec struct {
 	Cfg  sim.Config
 }
 
-// WarmCtx pre-runs the (program × spec) grid in parallel, honoring context
-// cancellation between jobs; the dvad /v1/sweep endpoint fans its grids
-// through it. Traces are materialized across the CPUs first — generation
-// used to run serially on the caller while every worker idled — then jobs
-// are submitted longest-expected-first, cost proxied by trace length ×
-// memory latency, so the slowest simulations start immediately and the
-// short ones fill the remaining worker capacity, instead of a grid-order
-// tail where one late-submitted long run idles every other CPU.
+// WarmCtx pre-runs the (program × spec) grid, honoring context cancellation
+// between jobs; it is the grid-shaped entry to RunBatch, which materializes
+// traces across the CPUs, collapses duplicate cells, groups cells by trace
+// and drains them longest-expected-first through the pooled machines.
 func (s *Suite) WarmCtx(ctx context.Context, programs []*workload.Program, runs []RunSpec) error {
-	mats := make([]func() error, len(programs))
-	for i, p := range programs {
-		p := p
-		mats[i] = func() error {
-			p.CachedTrace(s.Scale)
-			return nil
-		}
-	}
-	if err := parallelCtx(ctx, mats); err != nil {
-		return err
-	}
-	type job struct {
-		cost int64
-		run  func() error
-	}
-	jobs := make([]job, 0, len(programs)*len(runs))
+	jobs := make([]BatchJob, 0, len(programs)*len(runs))
 	for _, p := range programs {
-		length := int64(p.CachedTrace(s.Scale).Len())
 		for _, r := range runs {
-			p, r := p, r
-			jobs = append(jobs, job{
-				cost: length * r.Cfg.MemLatency,
-				run: func() error {
-					_, err := s.RunCtx(ctx, p, r.Arch, r.Cfg)
-					return err
-				},
-			})
+			jobs = append(jobs, BatchJob{Program: p, Arch: r.Arch, Cfg: r.Cfg})
 		}
 	}
-	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
-	fns := make([]func() error, len(jobs))
-	for i, j := range jobs {
-		fns[i] = j.run
-	}
-	return parallelCtx(ctx, fns)
+	_, err := s.RunBatch(ctx, jobs)
+	return err
 }

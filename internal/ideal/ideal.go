@@ -41,35 +41,50 @@ type Bound struct {
 func Compute(src trace.Source) Bound {
 	var b Bound
 	var fu2Only, fuAny int64
-	st := src.Stream()
-	for {
-		in, ok := st.Next()
-		if !ok {
-			break
+	// The common in-memory Slice source is scanned directly over its
+	// instruction slab: no stream allocation, no interface call per
+	// instruction. Any other Source streams.
+	if sl, ok := src.(*trace.Slice); ok {
+		for i := range sl.Insts {
+			accumulate(&b, &fuAny, &fu2Only, &sl.Insts[i])
 		}
-		switch in.Class {
-		case isa.ClassVectorALU, isa.ClassReduce:
-			if in.Op.FU1Capable() {
-				fuAny += int64(in.VL)
-			} else {
-				fu2Only += int64(in.VL)
+	} else {
+		st := src.Stream()
+		for {
+			in, ok := st.Next()
+			if !ok {
+				break
 			}
-		case isa.ClassVectorLoad, isa.ClassVectorStore, isa.ClassGather, isa.ClassScatter:
-			b.MemPort += int64(in.VL)
-		case isa.ClassScalarLoad:
-			b.ScalarCache++
-			b.ScalarProc++
-		case isa.ClassScalarStore:
-			b.ScalarCache++
-			b.ScalarProc++
-			b.MemPort++
-		default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs cost one scalar-processor slot each
-			b.ScalarProc++
+			accumulate(&b, &fuAny, &fu2Only, in)
 		}
 	}
 	b.FU1, b.FU2 = balance(fuAny, fu2Only)
 	b.Cycles = maxOf(b.FU1, b.FU2, b.MemPort, b.ScalarProc, b.ScalarCache)
 	return b
+}
+
+// accumulate charges one instruction to its resources.
+// declint:hotpath
+func accumulate(b *Bound, fuAny, fu2Only *int64, in *isa.Inst) {
+	switch in.Class {
+	case isa.ClassVectorALU, isa.ClassReduce:
+		if in.Op.FU1Capable() {
+			*fuAny += int64(in.VL)
+		} else {
+			*fu2Only += int64(in.VL)
+		}
+	case isa.ClassVectorLoad, isa.ClassVectorStore, isa.ClassGather, isa.ClassScatter:
+		b.MemPort += int64(in.VL)
+	case isa.ClassScalarLoad:
+		b.ScalarCache++
+		b.ScalarProc++
+	case isa.ClassScalarStore:
+		b.ScalarCache++
+		b.ScalarProc++
+		b.MemPort++
+	default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs cost one scalar-processor slot each
+		b.ScalarProc++
+	}
 }
 
 // balance splits `any` cycles of FU1-capable work across the two units,

@@ -354,63 +354,63 @@ func (in *Inst) String() string {
 
 // Validate checks internal consistency of the instruction and returns a
 // descriptive error for the first violated invariant.
+//
+// The checks are plain comparisons with the formatting pushed into invalidf,
+// evaluated only on failure: every generated instruction is validated at
+// emit time, so a success path that boxed format arguments (a variadic
+// helper called unconditionally did exactly that) allocates once per
+// instruction of every trace built.
 func (in *Inst) Validate() error {
-	check := func(cond bool, format string, args ...any) error {
-		if !cond {
-			return fmt.Errorf("isa: invalid %s: %s", in, fmt.Sprintf(format, args...))
-		}
-		return nil
-	}
 	if in.IsVector() {
-		if err := check(in.VL >= 1 && in.VL <= MaxVL, "vector length %d out of [1,%d]", in.VL, MaxVL); err != nil {
-			return err
+		if in.VL < 1 || in.VL > MaxVL {
+			return in.invalidf("vector length %d out of [1,%d]", in.VL, MaxVL)
 		}
-	} else if in.Class != ClassVSetVL {
-		if err := check(in.VL == 0, "non-vector instruction carries VL=%d", in.VL); err != nil {
-			return err
-		}
+	} else if in.Class != ClassVSetVL && in.VL != 0 {
+		return in.invalidf("non-vector instruction carries VL=%d", in.VL)
 	}
 	for _, r := range [...]Reg{in.Dst, in.Src1, in.Src2} {
-		if r.Kind != RegNone {
-			if err := check(r.Valid(), "bad register %v", r); err != nil {
-				return err
-			}
+		if r.Kind != RegNone && !r.Valid() {
+			return in.invalidf("bad register %v", r)
 		}
 	}
 	switch in.Class {
 	case ClassVectorALU, ClassReduce:
-		if err := check(in.Op != OpNone, "ALU instruction without opcode"); err != nil {
-			return err
+		if in.Op == OpNone {
+			return in.invalidf("ALU instruction without opcode")
 		}
 		if in.Class == ClassReduce {
-			if err := check(in.Dst.Kind == RegS, "reduction must target an S register, got %v", in.Dst); err != nil {
-				return err
+			if in.Dst.Kind != RegS {
+				return in.invalidf("reduction must target an S register, got %v", in.Dst)
 			}
-			if err := check(in.Src1.Kind == RegV, "reduction must read a V register, got %v", in.Src1); err != nil {
-				return err
+			if in.Src1.Kind != RegV {
+				return in.invalidf("reduction must read a V register, got %v", in.Src1)
 			}
-		} else {
-			if err := check(in.Dst.Kind == RegV, "vector ALU must target a V register, got %v", in.Dst); err != nil {
-				return err
-			}
+		} else if in.Dst.Kind != RegV {
+			return in.invalidf("vector ALU must target a V register, got %v", in.Dst)
 		}
 	case ClassVectorLoad, ClassGather:
-		if err := check(in.Dst.Kind == RegV, "vector load must target a V register, got %v", in.Dst); err != nil {
-			return err
+		if in.Dst.Kind != RegV {
+			return in.invalidf("vector load must target a V register, got %v", in.Dst)
 		}
 	case ClassVectorStore, ClassScatter:
-		if err := check(in.Dst.Kind == RegV, "vector store must read a V register, got %v", in.Dst); err != nil {
-			return err
+		if in.Dst.Kind != RegV {
+			return in.invalidf("vector store must read a V register, got %v", in.Dst)
 		}
 	case ClassScalarLoad:
-		if err := check(in.Dst.Kind == RegA || in.Dst.Kind == RegS, "scalar load must target A or S, got %v", in.Dst); err != nil {
-			return err
+		if in.Dst.Kind != RegA && in.Dst.Kind != RegS {
+			return in.invalidf("scalar load must target A or S, got %v", in.Dst)
 		}
 	case ClassScalarStore:
-		if err := check(in.Dst.Kind == RegA || in.Dst.Kind == RegS, "scalar store must read A or S, got %v", in.Dst); err != nil {
-			return err
+		if in.Dst.Kind != RegA && in.Dst.Kind != RegS {
+			return in.invalidf("scalar store must read A or S, got %v", in.Dst)
 		}
 	default: // declint:nonexhaustive — nop, scalar ALU, branch and vsetvl/vsetvs carry no class-specific register invariants
 	}
 	return nil
+}
+
+// invalidf builds the descriptive Validate error. Kept out of line so the
+// success path never evaluates (or boxes) the format arguments.
+func (in *Inst) invalidf(format string, args ...any) error {
+	return fmt.Errorf("isa: invalid %s: %s", in, fmt.Sprintf(format, args...))
 }

@@ -131,60 +131,60 @@ type machine struct {
 var zeroValue = value{valid: true, chainable: false}
 
 // valueArena allocates values in chunks so the dispatch loop performs one
-// heap allocation per chunk instead of one per renamed destination. Spent
-// values are never returned: a value's lifetime is data-dependent (source
-// snapshots keep it past retirement), exactly what garbage collection of a
-// whole chunk handles once nothing references into it.
+// heap allocation per chunk instead of one per renamed destination. Within a
+// run spent values are never returned — a value's lifetime is data-dependent
+// (source snapshots keep it past retirement) — but once a run has completed
+// nothing references into the chunks, so a pooled machine recycles all of
+// them with reset instead of leaving them to the garbage collector.
 type valueArena struct {
-	chunk []value
+	chunks [][]value
+	// The next value handed out is chunks[ci][vi].
+	ci, vi int
 }
 
 const valueChunk = 1024
 
 func (a *valueArena) alloc() *value {
-	if len(a.chunk) == 0 {
-		a.chunk = make([]value, valueChunk)
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]value, valueChunk))
 	}
-	v := &a.chunk[0]
-	a.chunk = a.chunk[1:]
+	v := &a.chunks[a.ci][a.vi]
+	if a.vi++; a.vi == valueChunk {
+		a.ci++
+		a.vi = 0
+	}
 	return v
+}
+
+// reset recycles every chunk for the next run, zeroing exactly the slots the
+// previous run used so a recycled value is indistinguishable from a fresh
+// one. Only safe between runs, when nothing references into the chunks.
+func (a *valueArena) reset() {
+	var zero value
+	for i := 0; i < len(a.chunks); i++ {
+		if i > a.ci {
+			break
+		}
+		n := valueChunk
+		if i == a.ci {
+			n = a.vi
+		}
+		c := a.chunks[i]
+		for j := 0; j < n; j++ {
+			c[j] = zero
+		}
+	}
+	a.ci, a.vi = 0, 0
 }
 
 // Run simulates the trace on the out-of-order vector architecture.
 func Run(src trace.Source, cfg Config) (*sim.Result, error) {
-	if err := cfg.Validate(); err != nil {
+	var r Runner
+	res := new(sim.Result)
+	if err := r.RunInto(res, src, cfg); err != nil {
 		return nil, err
 	}
-	m := &machine{
-		cfg:      cfg,
-		bus:      mem.NewBus(cfg.MemPorts),
-		cache:    mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
-		stream:   src.Stream(),
-		freePhys: cfg.PhysRegs,
-		win:      make([]wentry, cfg.Window),
-	}
-	for i := range m.vRename {
-		m.vRename[i] = &zeroValue
-	}
-	for i := range m.sValues {
-		m.sValues[i] = &zeroValue
-	}
-	for i := range m.aValues {
-		m.aValues[i] = &zeroValue
-	}
-	if err := m.run(); err != nil {
-		return nil, fmt.Errorf("ooo: on %s: %w", src.Name(), err)
-	}
-	return &sim.Result{
-		Arch:              "OOO",
-		Config:            cfg.Config,
-		Cycles:            m.now,
-		States:            m.states,
-		Counts:            m.counts,
-		Traffic:           m.traffic,
-		ScalarCacheHits:   m.cache.Hits,
-		ScalarCacheMisses: m.cache.Misses,
-	}, nil
+	return res, nil
 }
 
 // declint:hotpath

@@ -1,0 +1,110 @@
+package ooo
+
+import (
+	"fmt"
+
+	"decvec/internal/mem"
+	"decvec/internal/sim"
+	"decvec/internal/trace"
+)
+
+// Runner is a reusable OOO simulation arena: the issue window, the renamed
+// value chunks, the rename tables and the memory system kept alive across
+// runs. A zero Runner is ready to use; every run resets the machine in place
+// (see the Reset contract in internal/sim/arena.go). A Runner is not safe
+// for concurrent use; pool idle Runners in a sim.RunPool.
+type Runner struct {
+	m  machine
+	ss trace.SliceStream
+}
+
+// NewRunner returns an empty Runner.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run simulates the trace under cfg on the pooled machine and returns a
+// freshly allocated result (safe to retain; never aliases Runner state).
+func (r *Runner) Run(src trace.Source, cfg Config) (*sim.Result, error) {
+	res := new(sim.Result)
+	if err := r.RunInto(res, src, cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto simulates the trace under cfg, overwriting every field of res.
+func (r *Runner) RunInto(res *sim.Result, src trace.Source, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	m := &r.m
+	m.reset(cfg)
+	if sl, ok := src.(*trace.Slice); ok {
+		r.ss.Reset(sl)
+		m.stream = &r.ss
+	} else {
+		m.stream = src.Stream()
+	}
+	if err := m.run(); err != nil {
+		return fmt.Errorf("ooo: on %s: %w", src.Name(), err)
+	}
+	*res = sim.Result{
+		Arch:              "OOO",
+		Config:            cfg.Config,
+		Cycles:            m.now,
+		States:            m.states,
+		Counts:            m.counts,
+		Traffic:           m.traffic,
+		ScalarCacheHits:   m.cache.Hits,
+		ScalarCacheMisses: m.cache.Misses,
+	}
+	return nil
+}
+
+// reset restores the machine to power-on state for a new run under cfg,
+// reusing the window ring, value chunks and memory system when their
+// geometry still matches. The observable behaviour after reset is
+// bit-identical to a fresh machine, which the arena-reuse equivalence suite
+// pins. Stale window-ring entries past wLen need no zeroing: fetch
+// overwrites a recycled slot wholesale before any read.
+func (m *machine) reset(cfg Config) {
+	m.cfg = cfg
+	ports := cfg.MemPorts
+	if ports < 1 {
+		ports = 1
+	}
+	if m.bus == nil || m.bus.Ports() != ports {
+		m.bus = mem.NewBus(cfg.MemPorts)
+	} else {
+		m.bus.Reset()
+	}
+	if m.cache == nil || m.cache.Lines() != cfg.ScalarCacheLines || m.cache.LineBytes() != cfg.ScalarCacheLineBytes {
+		m.cache = mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes)
+	} else {
+		m.cache.Reset()
+	}
+	m.now = 0
+	m.stream = nil
+	m.streamDone = false
+	m.pending = nil
+	m.hasPending = false
+	if len(m.win) != cfg.Window {
+		m.win = make([]wentry, cfg.Window)
+	}
+	m.wHead, m.wLen = 0, 0
+	m.arena.reset()
+	for i := range m.vRename {
+		m.vRename[i] = &zeroValue
+	}
+	for i := range m.sValues {
+		m.sValues[i] = &zeroValue
+	}
+	for i := range m.aValues {
+		m.aValues[i] = &zeroValue
+	}
+	m.freePhys = cfg.PhysRegs
+	m.fu1Busy, m.fu2Busy = 0, 0
+	m.states = sim.StateStats{}
+	m.counts = sim.Counts{}
+	m.traffic = sim.MemTraffic{}
+	m.maxDone, m.lastProgress = 0, 0
+}

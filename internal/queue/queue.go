@@ -51,10 +51,27 @@ type Q[T any] struct {
 // New returns an empty queue with the given name (for diagnostics) and
 // capacity. Capacity must be positive.
 func New[T any](name string, capacity int) *Q[T] {
+	q := new(Q[T])
+	q.Init(name, capacity)
+	return q
+}
+
+// Init (re)initializes q in place to an empty queue with the given name and
+// capacity, reusing the existing ring when its capacity already matches. It
+// is the embed-by-value counterpart of New: simulators that hold queues as
+// struct fields call Init from their constructors and reset paths so a
+// machine's queues live inside the machine allocation instead of behind a
+// pointer each. Capacity must be positive.
+func (q *Q[T]) Init(name string, capacity int) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue: non-positive capacity %d for %s", capacity, name))
 	}
-	return &Q[T]{name: name, ring: make([]entry[T], capacity)}
+	if len(q.ring) != capacity {
+		q.ring = make([]entry[T], capacity)
+	}
+	q.name = name
+	q.obs = nil
+	q.Reset()
 }
 
 // Name returns the queue's diagnostic name.
@@ -137,19 +154,27 @@ func (q *Q[T]) Push(now int64, v T) bool {
 }
 
 // CanPop reports whether the head entry exists and is visible at cycle now.
+// The body is a self-contained leaf (no at() call) so it inlines into the
+// simulators' per-cycle probes.
 func (q *Q[T]) CanPop(now int64) bool {
-	return q.n > 0 && q.at(0).visible <= now
+	return q.n > 0 && q.ring[q.head].visible <= now
 }
 
 // Peek returns the head entry without removing it. ok is false when the
-// queue is empty or the head is not yet visible at cycle now.
+// queue is empty or the head is not yet visible at cycle now. Leaf body so
+// the call inlines on the simulators' innermost loops.
 // declint:hotpath
 func (q *Q[T]) Peek(now int64) (v T, ok bool) {
-	if !q.CanPop(now) {
+	if q.n == 0 {
 		var zero T
 		return zero, false
 	}
-	return q.at(0).val, true
+	e := &q.ring[q.head]
+	if e.visible > now {
+		var zero T
+		return zero, false
+	}
+	return e.val, true
 }
 
 // PeekAt returns the i-th entry (0 = head) if it exists and is visible.
@@ -208,12 +233,18 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 // Head returns a pointer to the head entry's value for in-place mutation
 // (used by multi-cycle operations that update queue-resident state). ok is
 // false when the queue is empty or the head is not visible at cycle now.
+// Every simulator unit probes its instruction queue's head every cycle, so
+// the body is a self-contained leaf that inlines at those call sites.
 // declint:hotpath
 func (q *Q[T]) Head(now int64) (v *T, ok bool) {
-	if !q.CanPop(now) {
+	if q.n == 0 {
 		return nil, false
 	}
-	return &q.at(0).val, true
+	e := &q.ring[q.head]
+	if e.visible > now {
+		return nil, false
+	}
+	return &e.val, true
 }
 
 // All calls fn for every entry visible at cycle now, oldest first, stopping

@@ -1,0 +1,8 @@
+//go:build race
+
+package ref
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation guards skip under -race: instrumentation defeats the
+// escape analysis the guards depend on.
+const raceEnabled = true

@@ -77,27 +77,10 @@ func RunRecorded(src trace.Source, cfg sim.Config, rec *sim.Recorder) (*sim.Resu
 }
 
 func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued int64), rec *sim.Recorder) (*sim.Result, error) {
-	if err := cfg.Validate(); err != nil {
+	var r Runner
+	res := new(sim.Result)
+	if err := r.runInto(res, src, cfg, hook, rec); err != nil {
 		return nil, err
-	}
-	m := &machine{
-		cfg:   cfg,
-		bus:   mem.NewBus(cfg.MemPorts),
-		cache: mem.NewCache(cfg.ScalarCacheLines, cfg.ScalarCacheLineBytes),
-		rec:   rec,
-	}
-	now := m.run(src.Stream(), hook)
-	res := &sim.Result{
-		Arch:    "REF",
-		Config:  cfg,
-		Cycles:  now,
-		States:  m.states,
-		Counts:  m.counts,
-		Traffic: m.traffic,
-		Stalls:  m.stalls,
-
-		ScalarCacheHits:   m.cache.Hits,
-		ScalarCacheMisses: m.cache.Misses,
 	}
 	return res, nil
 }

@@ -506,33 +506,37 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	// Warm the whole grid through the suite's parallel machinery (cost-
-	// sorted, admission-gated), then read every point back from cache.
+	// Run the whole grid as one batch through the pooled machines
+	// (trace-grouped, cost-sorted, admission-gated); results come back in
+	// grid order, one per batch job.
+	jobs := make([]experiments.BatchJob, 0, len(progs)*len(specs))
+	for _, p := range progs {
+		for _, spec := range specs {
+			jobs = append(jobs, experiments.BatchJob{Program: p, Arch: spec.Arch, Cfg: spec.Cfg})
+		}
+	}
+	var results []*sim.Result
 	_, err = s.await(ctx, func() (*sim.Result, error) {
-		return nil, s.suite.WarmCtx(ctx, progs, specs)
+		var berr error
+		results, berr = s.suite.RunBatch(ctx, jobs)
+		return nil, berr
 	})
 	if err != nil {
 		s.httpError(w, err, http.StatusInternalServerError)
 		return
 	}
-	resp := SweepResponse{Points: make([]SweepPoint, 0, len(progs)*len(specs))}
-	for _, p := range progs {
-		for _, spec := range specs {
-			res, err := s.suite.RunCtx(ctx, p, spec.Arch, spec.Cfg)
-			if err != nil {
-				s.httpError(w, err, http.StatusInternalServerError)
-				return
-			}
-			resp.Points = append(resp.Points, SweepPoint{
-				Program: p.Name,
-				Arch:    string(spec.Arch),
-				Latency: spec.Cfg.MemLatency,
-				LoadQ:   spec.Cfg.AVDQSize,
-				StoreQ:  spec.Cfg.VADQSize,
-				Cycles:  res.Cycles,
-				IPC:     res.IPC(),
-			})
-		}
+	resp := SweepResponse{Points: make([]SweepPoint, 0, len(jobs))}
+	for i, j := range jobs {
+		res := results[i]
+		resp.Points = append(resp.Points, SweepPoint{
+			Program: j.Program.Name,
+			Arch:    string(j.Arch),
+			Latency: j.Cfg.MemLatency,
+			LoadQ:   j.Cfg.AVDQSize,
+			StoreQ:  j.Cfg.VADQSize,
+			Cycles:  res.Cycles,
+			IPC:     res.IPC(),
+		})
 	}
 	resp.Simulations = s.suite.Simulations()
 	s.served.Add(1)

@@ -1,0 +1,58 @@
+package sim
+
+import "sync"
+
+// This file is the run-arena layer shared by the simulator cores: a pool of
+// reusable per-run machines plus the Reset contract they implement. A
+// simulation run allocates a machine-sized working set (fourteen ring-buffer
+// queues, scoreboards, scratch slices, memo tables, histograms); sweeps run
+// thousands of such runs back to back, so the cores expose pooled Runner
+// types that keep one machine alive across runs and reset it in place.
+//
+// The Reset contract: after Reset, a reused machine must be bit-identical —
+// in every observable output (results, event streams, statistics) — to a
+// freshly constructed one. Retained memory (ring capacity, scratch-slice
+// capacity, memo tables, pooled event payloads) is invisible to the model:
+// it may only ever amortize allocation, never leak state between runs. The
+// arena-reuse equivalence suite pins this by running every core twice on the
+// same pooled machine across the program × latency × queue grid and
+// comparing results and event streams byte for byte against fresh machines.
+
+// RunPool is a concurrency-safe free list of per-run machines (the cores'
+// Runner types). Unlike sync.Pool it never drops entries on GC pressure
+// asynchronously — a bounded, deterministic arena is easier to reason about
+// in tests — but it is still only an amortization: Get returning ok=false
+// simply means the caller constructs a fresh machine.
+type RunPool[M any] struct {
+	mu   sync.Mutex
+	free []M
+}
+
+// Get pops a pooled machine, reporting ok=false when the pool is empty.
+func (p *RunPool[M]) Get() (m M, ok bool) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		m = p.free[n-1]
+		var zero M
+		p.free[n-1] = zero // release the reference
+		p.free = p.free[:n-1]
+		ok = true
+	}
+	p.mu.Unlock()
+	return m, ok
+}
+
+// Put returns a machine to the pool. The machine must be idle: the caller
+// guarantees no run is in flight on it.
+func (p *RunPool[M]) Put(m M) {
+	p.mu.Lock()
+	p.free = append(p.free, m)
+	p.mu.Unlock()
+}
+
+// Len returns the number of pooled machines.
+func (p *RunPool[M]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

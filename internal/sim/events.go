@@ -314,6 +314,17 @@ type Recorder struct {
 // NewRecorder returns an empty, unbounded recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Reset empties the recorder for reuse, keeping MaxEvents and the event
+// storage. A reset recorder records exactly like a fresh one.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.Dropped = 0
+	r.events = r.events[:0]
+	r.lastStall = [NumStallReasons]int{}
+}
+
 // Enabled reports whether the recorder is collecting (non-nil).
 func (r *Recorder) Enabled() bool { return r != nil }
 

@@ -170,6 +170,27 @@ func (h *Histogram) ObserveN(v int, n int64) {
 	h.Buckets[v] += n
 }
 
+// CloneInto copies h into dst and returns it, reusing dst's storage when the
+// bucket counts match (allocating otherwise, including dst == nil). Pooled
+// machines use it to hand a caller an independent snapshot of a histogram
+// the machine itself will keep mutating on its next run.
+func (h *Histogram) CloneInto(dst *Histogram) *Histogram {
+	if dst == nil || len(dst.Buckets) != len(h.Buckets) {
+		dst = &Histogram{Buckets: make([]int64, len(h.Buckets))}
+	}
+	copy(dst.Buckets, h.Buckets)
+	dst.Clamped = h.Clamped
+	return dst
+}
+
+// Reset clears every bucket, keeping the bucket storage for reuse.
+func (h *Histogram) Reset() {
+	for i := range h.Buckets {
+		h.Buckets[i] = 0
+	}
+	h.Clamped = 0
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 {
 	var t int64

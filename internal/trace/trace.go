@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"decvec/internal/isa"
 )
@@ -33,23 +34,48 @@ type Source interface {
 type Slice struct {
 	TraceName string
 	Insts     []isa.Inst
+
+	// aux caches one consumer-computed annotation derived from the
+	// (immutable) instruction sequence — for example a simulator's
+	// predecoded dispatch plan — so it is computed once per trace rather
+	// than once per run. See Aux/SetAux.
+	aux atomic.Value
 }
+
+// Aux returns the annotation published by SetAux, or nil.
+func (s *Slice) Aux() any { return s.aux.Load() }
+
+// SetAux publishes an annotation derived from the instruction sequence.
+// Because Insts is immutable for the lifetime of the trace, concurrent
+// writers necessarily derive equivalent values, so losing a publication
+// race is harmless. All stores must use one concrete type.
+func (s *Slice) SetAux(v any) { s.aux.Store(v) }
 
 // Name implements Source.
 func (s *Slice) Name() string { return s.TraceName }
 
 // Stream implements Source.
-func (s *Slice) Stream() Stream { return &sliceStream{insts: s.Insts} }
+func (s *Slice) Stream() Stream { return &SliceStream{insts: s.Insts} }
 
 // Len returns the number of dynamic instructions.
 func (s *Slice) Len() int { return len(s.Insts) }
 
-type sliceStream struct {
+// SliceStream is one pass over a Slice. Pooled simulator machines embed it
+// by value and Reset it per run, so starting a pass costs no allocation.
+type SliceStream struct {
 	insts []isa.Inst
 	pos   int
 }
 
-func (st *sliceStream) Next() (*isa.Inst, bool) {
+// Reset points the stream at the start of s.
+func (st *SliceStream) Reset(s *Slice) {
+	st.insts = s.Insts
+	st.pos = 0
+}
+
+// Next implements Stream.
+// declint:hotpath
+func (st *SliceStream) Next() (*isa.Inst, bool) {
 	if st.pos >= len(st.insts) {
 		return nil, false
 	}

@@ -13,14 +13,25 @@ import (
 	"math/rand"
 
 	"decvec/internal/isa"
+	"decvec/internal/sim"
 	"decvec/internal/trace"
 )
+
+// emitBufs recycles emit buffers across builders. Workload synthesis builds
+// tens of thousands of instructions per trace; growing a fresh buffer from
+// nothing for every trace re-pays the whole append-growth ladder each time,
+// so Trace right-size-copies the finished instructions and donates the
+// (grown) backing buffer to the next builder.
+var emitBufs sim.RunPool[[]isa.Inst]
 
 // Builder accumulates a synthetic trace. Create one with New, call kernel
 // methods, then Trace to obtain the result.
 type Builder struct {
 	name  string
 	insts []isa.Inst
+	// owned marks insts as backed by an emitBufs buffer that no finished
+	// trace aliases, so Trace may recycle it.
+	owned bool
 	seq   int64
 	rng   *rand.Rand
 
@@ -37,18 +48,37 @@ type Builder struct {
 // New returns a Builder for a trace with the given name and deterministic
 // random seed.
 func New(name string, seed int64) *Builder {
-	return &Builder{
+	b := &Builder{
 		name:     name,
 		rng:      rand.New(rand.NewSource(seed)),
 		curVL:    -1,
 		curVS:    -999,
 		nextAddr: 0x10000,
 	}
+	if buf, ok := emitBufs.Get(); ok {
+		b.insts = buf[:0]
+		b.owned = true
+	}
+	return b
 }
 
-// Trace finalizes the builder into a replayable in-memory trace.
+// Trace finalizes the builder into a replayable in-memory trace. The trace
+// receives a right-sized copy of the instructions; the builder's (grown)
+// emit buffer goes back to the pool for the next builder. If an owned
+// buffer outgrew its pooled backing along the way, ownership simply moved
+// to the replacement, so the pool always receives the largest buffer.
 func (b *Builder) Trace() *trace.Slice {
-	return &trace.Slice{TraceName: b.name, Insts: b.insts}
+	out := make([]isa.Inst, len(b.insts))
+	copy(out, b.insts)
+	if b.owned {
+		emitBufs.Put(b.insts[:0])
+	}
+	// Keep the builder usable (Len, EndBB, further emits) without aliasing
+	// the returned trace: the full slice expression forces any later append
+	// to reallocate.
+	b.insts = out[:len(out):len(out)]
+	b.owned = false
+	return &trace.Slice{TraceName: b.name, Insts: out}
 }
 
 // Len returns the number of instructions emitted so far.
