@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race bench profile verify generate loadtest
+.PHONY: build test vet lint race bench profile verify generate loadtest sweeptest
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,14 @@ bench:
 # gracefully. Prints latency percentiles. See DESIGN.md "Serving".
 loadtest:
 	GO=$(GO) sh bench/loadtest.sh
+
+# sweeptest stands up two throwaway dvad workers and drives a 1044-cell
+# dvasweep through them: zero cells may re-shard, the digest must match an
+# in-process run byte-for-byte, and a warm rerun against restarted workers
+# must answer every cell from each worker's disk cache (cache-affine
+# sharding). See DESIGN.md "Distributed sweeps".
+sweeptest:
+	GO=$(GO) sh bench/sweeptest.sh
 
 # profile produces pprof CPU and heap profiles of a full dvabench run.
 # Inspect with: go tool pprof dvabench.bin cpu.pprof

@@ -1,0 +1,119 @@
+#!/bin/sh
+# sweeptest.sh — end-to-end test of the distributed sweep path
+# (`make sweeptest`).
+#
+# Builds dvad and dvasweep, starts two workers on throwaway ports with
+# separate cache directories, and runs a >=1000-cell sweep through the
+# coordinator with -assert-no-reshard: a healthy fleet must finish in one
+# round with zero cells moved. The digest of the distributed run must
+# match an in-process run of the same grid (byte-identity contract), and
+# a warm rerun against *restarted* workers on the same cache directories
+# must answer every cell from the disk tier — nonzero hits, zero misses,
+# per worker — proving cache-affine sharding routes each cell back to the
+# worker that already holds it.
+#
+# Tunables (env): SWEEP_PORT1 (default 18481), SWEEP_PORT2 (18482),
+# SWEEP_SCALE (0.05).
+set -eu
+
+PORT1="${SWEEP_PORT1:-18481}"
+PORT2="${SWEEP_PORT2:-18482}"
+SCALE="${SWEEP_SCALE:-0.05}"
+URL1="http://127.0.0.1:$PORT1"
+URL2="http://127.0.0.1:$PORT2"
+
+# 2 programs x 2 archs x 87 latencies x 3 load-queue depths = 1044 cells.
+LATS="$(seq -s, 1 87)"
+GRID="-progs BDNA,MG3D -archs REF,DVA -latencies $LATS -loadqs 0,8,16"
+
+GO="${GO:-go}"
+$GO build -o dvad.bin ./cmd/dvad
+$GO build -o dvasweep.bin ./cmd/dvasweep
+
+CACHE1="$(mktemp -d)"
+CACHE2="$(mktemp -d)"
+LOCALCACHE="$(mktemp -d)"
+PID1=""
+PID2=""
+cleanup() {
+    [ -n "$PID1" ] && kill "$PID1" 2>/dev/null || true
+    [ -n "$PID2" ] && kill "$PID2" 2>/dev/null || true
+    rm -rf "$CACHE1" "$CACHE2" "$LOCALCACHE"
+}
+trap cleanup EXIT
+
+start_workers() {
+    ./dvad.bin -addr "127.0.0.1:$PORT1" -scale "$SCALE" -cache-dir "$CACHE1" \
+        -timeout 300s &
+    PID1=$!
+    ./dvad.bin -addr "127.0.0.1:$PORT2" -scale "$SCALE" -cache-dir "$CACHE2" \
+        -timeout 300s &
+    PID2=$!
+    for url in "$URL1" "$URL2"; do
+        ready=0
+        i=0
+        while [ "$i" -lt 100 ]; do
+            if curl -fsS "$url/healthz" >/dev/null 2>&1; then
+                ready=1
+                break
+            fi
+            sleep 0.1
+            i=$((i + 1))
+        done
+        if [ "$ready" -ne 1 ]; then
+            echo "sweeptest: dvad did not become healthy on $url" >&2
+            exit 1
+        fi
+    done
+}
+
+stop_workers() {
+    kill -TERM "$PID1" "$PID2"
+    wait "$PID1" "$PID2"
+    PID1=""
+    PID2=""
+}
+
+start_workers
+
+# Cold distributed sweep: both workers start empty, so every cell is a
+# miss, but a healthy fleet must still finish in one round with zero
+# cells re-sharded.
+# shellcheck disable=SC2086 # GRID is a flag list, word-splitting intended
+./dvasweep.bin $GRID -workers "$URL1,$URL2" -scale "$SCALE" \
+    -digest -assert-no-reshard | tee sweep_cold.txt
+
+# The same grid in-process: the digest lines must agree byte-for-byte.
+# shellcheck disable=SC2086
+./dvasweep.bin $GRID -scale "$SCALE" -cache-dir "$LOCALCACHE" \
+    -digest -quiet > sweep_local.txt
+grep '^sha256:' sweep_cold.txt > digest_dist.txt
+grep '^sha256:' sweep_local.txt > digest_local.txt
+diff digest_dist.txt digest_local.txt
+
+# Restart the workers on the same cache directories. The warm rerun must
+# answer every cell from each worker's disk tier: cache-affine sharding
+# sends a cell to the same worker both times, so hits must be nonzero and
+# misses zero on every worker.
+stop_workers
+start_workers
+# shellcheck disable=SC2086
+./dvasweep.bin $GRID -workers "$URL1,$URL2" -scale "$SCALE" \
+    -digest -assert-no-reshard -json | tee sweep_warm.txt
+grep '^sha256:' sweep_warm.txt > digest_warm.txt
+diff digest_dist.txt digest_warm.txt
+if grep -q '"cacheHits": 0' sweep_warm.txt; then
+    echo "sweeptest: a worker had zero warm cache hits; sharding is not cache-affine" >&2
+    exit 1
+fi
+if grep '"cacheMisses":' sweep_warm.txt | grep -qv '"cacheMisses": 0'; then
+    echo "sweeptest: warm rerun missed the disk cache" >&2
+    exit 1
+fi
+
+stop_workers
+trap - EXIT
+rm -rf "$CACHE1" "$CACHE2" "$LOCALCACHE"
+rm -f sweep_cold.txt sweep_local.txt sweep_warm.txt \
+    digest_dist.txt digest_local.txt digest_warm.txt
+echo "sweeptest: PASS"

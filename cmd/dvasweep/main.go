@@ -1,0 +1,284 @@
+// Command dvasweep runs a parameter sweep across dvad workers — or
+// in-process when none are given — and merges the results in plan order.
+//
+// Usage:
+//
+//	dvasweep [-grid grid.json | -progs BDNA,OCEAN -archs REF,DVA
+//	          -latencies 1,50,100 -loadqs 0 -storeqs 0]
+//	         [-workers http://host1:8382,http://host2:8382]
+//	         [-scale 1.0] [-cache-dir DIR] [-chunk 128] [-inflight 2]
+//	         [-retries 4] [-backoff 100ms] [-req-timeout 0]
+//	         [-out results.bin] [-digest] [-json] [-quiet]
+//	         [-assert-no-reshard]
+//
+// The grid comes from a JSON spec file (-grid; the decvec.SweepGridSpec
+// schema) or from the dimension flags; empty dimensions take the paper
+// defaults. Cells shard across the workers by simcache key prefix, so a
+// repeat sweep lands each cell on the worker whose disk cache already
+// holds it; if a worker dies mid-sweep its unfinished cells re-shard
+// across the survivors.
+//
+// -out writes every result's canonical binary encoding, concatenated in
+// plan order; -digest prints the SHA-256 of that stream — two runs of the
+// same grid print the same digest whatever the worker topology, which is
+// the byte-identity contract CI checks. -assert-no-reshard exits nonzero
+// if any cell had to move or any worker died (the healthy-fleet CI
+// contract).
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"decvec"
+)
+
+func main() {
+	var (
+		gridFile  = flag.String("grid", "", "JSON grid spec file (mutually exclusive with the dimension flags)")
+		progs     = flag.String("progs", "", "comma-separated program names (default: the six simulated programs)")
+		archs     = flag.String("archs", "", "comma-separated architectures: REF, DVA, BYP (default REF,DVA)")
+		latencies = flag.String("latencies", "", "comma-separated memory latencies (default: the Figure 3-5 sweep)")
+		loadqs    = flag.String("loadqs", "", "comma-separated load-queue sizes (0 = architecture default)")
+		storeqs   = flag.String("storeqs", "", "comma-separated store-queue sizes (0 = architecture default)")
+
+		workers  = flag.String("workers", "", "comma-separated dvad base URLs; empty runs the sweep in-process")
+		scale    = flag.Float64("scale", 1.0, "trace scale factor (must match the workers' -scale for cache affinity)")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory for the in-process fallback")
+		chunk    = flag.Int("chunk", 0, "cells per worker dispatch (0 = 128, or one chunk for in-process runs)")
+		inflight = flag.Int("inflight", 0, "concurrent chunks per worker (0 = 2)")
+		retries  = flag.Int("retries", 0, "chunk retries before a worker is declared down (0 = 4)")
+		backoff  = flag.Duration("backoff", 0, "first retry delay, doubling per retry (0 = 100ms)")
+		reqTO    = flag.Duration("req-timeout", 0, "worker-side per-chunk timeout to request (0 = worker default)")
+
+		outFile  = flag.String("out", "", "write concatenated canonical results (plan order) to this file")
+		digest   = flag.Bool("digest", false, "print the SHA-256 of the canonical result stream")
+		asJSON   = flag.Bool("json", false, "print the sweep summary as JSON instead of tables")
+		quiet    = flag.Bool("quiet", false, "suppress the sweep summary and progress")
+		noReshrd = flag.Bool("assert-no-reshard", false, "exit nonzero if any cell was re-sharded or any worker died")
+	)
+	flag.Parse()
+
+	spec, err := gridSpec(*gridFile, *progs, *archs, *latencies, *loadqs, *storeqs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvasweep: %v\n", err)
+		os.Exit(2)
+	}
+	plan, err := decvec.NewSweepPlan(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvasweep: %v\n", err)
+		os.Exit(2)
+	}
+
+	var execs []decvec.SweepExecutor
+	chunkSize := *chunk
+	if *workers == "" {
+		// In-process fallback: one local executor; a single chunk keeps
+		// RunBatch's global trace-grouping unless the user asked otherwise.
+		suite := decvec.NewSuite(*scale)
+		if *cacheDir != "" {
+			store, err := decvec.OpenCache(*cacheDir, decvec.CacheOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvasweep: %v; sweeping without the disk tier\n", err)
+			} else {
+				suite.Disk = store
+			}
+		}
+		execs = append(execs, decvec.LocalExecutor("local", suite))
+		if chunkSize <= 0 {
+			chunkSize = plan.Points()
+		}
+	} else {
+		opts := decvec.RemoteExecutorOptions{
+			Client:    &http.Client{},
+			Retries:   *retries,
+			Backoff:   *backoff,
+			TimeoutMs: reqTO.Milliseconds(),
+		}
+		for _, u := range strings.Split(*workers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			execs = append(execs, decvec.RemoteExecutor(u, opts))
+		}
+		if len(execs) == 0 {
+			fmt.Fprintln(os.Stderr, "dvasweep: -workers has no usable URLs")
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var progress func(done, total int)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dvasweep: %d cells across %d worker(s)\n", plan.Points(), len(execs))
+		progress = progressPrinter(plan.Points())
+	}
+	start := time.Now()
+	results, st, sweepErr := decvec.RunSweep(ctx, plan, execs, decvec.SweepOptions{
+		Scale:     *scale,
+		ChunkSize: chunkSize,
+		Inflight:  *inflight,
+		Progress:  progress,
+	})
+	wall := time.Since(start)
+
+	// Canonical output stream: every completed result in plan order.
+	// Errors below are I/O on our side, never sweep state.
+	var sink io.Writer
+	h := sha256.New()
+	if *digest {
+		sink = h
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvasweep: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if sink != nil {
+			sink = io.MultiWriter(sink, f)
+		} else {
+			sink = f
+		}
+	}
+	if sink != nil {
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			if err := decvec.EncodeResult(sink, res); err != nil {
+				fmt.Fprintf(os.Stderr, "dvasweep: encoding cell %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if !*quiet {
+		if *asJSON {
+			b, err := decvec.SweepStatsJSON(st)
+			if err == nil {
+				fmt.Println(string(b))
+			}
+		} else {
+			fmt.Print(decvec.SweepTable(st))
+		}
+		fmt.Fprintf(os.Stderr, "dvasweep: %d/%d cells in %s\n", st.Completed, st.Points, wall.Round(time.Millisecond))
+	}
+	if *digest {
+		fmt.Printf("sha256:%x\n", h.Sum(nil))
+	}
+
+	if sweepErr != nil {
+		fmt.Fprintf(os.Stderr, "dvasweep: %v\n", sweepErr)
+		os.Exit(1)
+	}
+	if *noReshrd {
+		if st.Resharded > 0 {
+			fmt.Fprintf(os.Stderr, "dvasweep: FAIL: %d cells re-sharded\n", st.Resharded)
+			os.Exit(1)
+		}
+		for _, w := range st.Workers {
+			if w.Failed {
+				fmt.Fprintf(os.Stderr, "dvasweep: FAIL: worker %s died (%s)\n", w.Name, w.LastError)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// gridSpec builds the plan spec from the -grid file or the dimension
+// flags; mixing the two is an error, so a script can never half-override a
+// file.
+func gridSpec(file, progs, archs, latencies, loadqs, storeqs string) (decvec.SweepGridSpec, error) {
+	var spec decvec.SweepGridSpec
+	if file != "" {
+		if progs+archs+latencies+loadqs+storeqs != "" {
+			return spec, fmt.Errorf("-grid is mutually exclusive with the dimension flags")
+		}
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return spec, err
+		}
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return spec, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		return spec, nil
+	}
+	spec.Programs = splitList(progs)
+	spec.Archs = splitList(archs)
+	for _, s := range splitList(latencies) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("-latencies: %w", err)
+		}
+		spec.Latencies = append(spec.Latencies, v)
+	}
+	var err error
+	if spec.LoadQs, err = intList("-loadqs", loadqs); err != nil {
+		return spec, err
+	}
+	if spec.StoreQs, err = intList("-storeqs", storeqs); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func intList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// progressPrinter reports to stderr at every decile boundary. The
+// callback runs from concurrent chunk completions, hence the atomic.
+func progressPrinter(total int) func(done, total int) {
+	if total == 0 {
+		return nil
+	}
+	var last atomic.Int64
+	return func(done, total int) {
+		dec := int64(done * 10 / total)
+		for {
+			prev := last.Load()
+			if dec <= prev {
+				return
+			}
+			if last.CompareAndSwap(prev, dec) {
+				fmt.Fprintf(os.Stderr, "dvasweep: %d%% (%d/%d)\n", dec*10, done, total)
+				return
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"decvec/internal/server"
 	"decvec/internal/sim"
 	"decvec/internal/simcache"
+	"decvec/internal/sweep"
 	"decvec/internal/trace"
 	"decvec/internal/workload"
 )
@@ -511,3 +512,87 @@ func RunExperimentCtx(ctx context.Context, s *Suite, name string) (string, error
 	}
 	return fn(ctx, s)
 }
+
+// SweepGridSpec names a (program × arch × latency × queue) parameter grid
+// by its dimension values; empty dimensions take the paper defaults. Its
+// JSON form is the -grid file format of cmd/dvasweep.
+type SweepGridSpec = sweep.GridSpec
+
+// SweepPlan is a compiled grid, enumerated cell-by-cell without ever
+// materializing the full product.
+type SweepPlan = sweep.Plan
+
+// NewSweepPlan compiles and validates a grid spec.
+func NewSweepPlan(spec SweepGridSpec) (*SweepPlan, error) { return sweep.NewPlan(spec) }
+
+// SweepExecutor drains sweep shards for one worker; see LocalExecutor and
+// RemoteExecutor.
+type SweepExecutor = sweep.Executor
+
+// SweepOptions tune a coordinated sweep; the zero value is
+// production-ready.
+type SweepOptions = sweep.Options
+
+// SweepStats is the sweep-level outcome summary: cells completed, cells
+// re-sharded after worker failures, dispatch rounds, and per-worker
+// cache-hit ratios.
+type SweepStats = sweep.Stats
+
+// RemoteExecutorOptions tune a RemoteExecutor.
+type RemoteExecutorOptions = sweep.RemoteOptions
+
+// LocalExecutor runs sweep shards in-process through the suite — the
+// fallback when no dvad workers are configured.
+func LocalExecutor(name string, s *Suite) SweepExecutor { return sweep.NewLocal(name, s) }
+
+// RemoteExecutor runs sweep shards on the dvad worker at baseURL.
+func RemoteExecutor(baseURL string, opts RemoteExecutorOptions) SweepExecutor {
+	return sweep.NewRemote(baseURL, opts)
+}
+
+// RunSweep shards the plan's cells across the executors by cache-key
+// prefix (so repeat sweeps land each cell on the worker whose disk cache
+// already holds it), survives worker failures by re-sharding, and merges
+// the results deterministically in plan order: out[i] is plan cell i's
+// result wherever it ran. Partial failures follow the RunBatch contract —
+// completed results come back alongside the joined error.
+func RunSweep(ctx context.Context, plan *SweepPlan, execs []SweepExecutor, opts SweepOptions) ([]*Result, SweepStats, error) {
+	return sweep.Run(ctx, plan, execs, opts)
+}
+
+// sweepMetricOf converts the coordinator's stats into the report schema.
+func sweepMetricOf(st SweepStats) report.SweepMetric {
+	m := report.SweepMetric{
+		Points:    st.Points,
+		Completed: st.Completed,
+		Resharded: st.Resharded,
+		Rounds:    st.Rounds,
+		Workers:   make([]report.SweepWorkerMetric, len(st.Workers)),
+	}
+	for i, w := range st.Workers {
+		m.Workers[i] = report.SweepWorkerMetric{
+			Name:        w.Name,
+			Cells:       w.Cells,
+			CacheHits:   w.CacheHits,
+			CacheMisses: w.CacheMisses,
+			HitRatio:    w.HitRatio,
+			Retries:     w.Retries,
+			Failed:      w.Failed,
+			LastError:   w.LastError,
+		}
+	}
+	return m
+}
+
+// SweepTable renders a sweep summary as ASCII tables, one row per worker.
+func SweepTable(st SweepStats) string { return report.SweepTable(sweepMetricOf(st)) }
+
+// SweepStatsJSON renders a sweep summary as indented JSON.
+func SweepStatsJSON(st SweepStats) ([]byte, error) {
+	return report.SweepJSON(sweepMetricOf(st))
+}
+
+// EncodeResult writes the canonical binary result encoding — the format
+// the persistent cache stores and the sweep protocol streams, and the one
+// to hash when checking two runs for byte-identity.
+func EncodeResult(w io.Writer, res *Result) error { return sim.EncodeResult(w, res) }

@@ -1,5 +1,5 @@
 // Package concdiscipline implements the declint analyzer that polices the
-// concurrent layers (internal/server, internal/experiments):
+// concurrent layers (internal/server, internal/experiments, internal/sweep):
 //
 //   - a sync.Mutex/RWMutex must not be held across a channel send, a
 //     channel receive, a select without a default clause, or a
@@ -37,6 +37,7 @@ import (
 var concurrentPackages = map[string]bool{
 	"server":      true,
 	"experiments": true,
+	"sweep":       true,
 }
 
 // Analyzer is the concurrency-discipline check.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestConcDiscipline(t *testing.T) {
-	analysis.RunTest(t, "../testdata", concdiscipline.Analyzer, "concd/server")
+	analysis.RunTest(t, "../testdata", concdiscipline.Analyzer, "concd/server", "concd/sweep")
 }

@@ -13,7 +13,7 @@
 //	core     ref, dva, ooo, ideal                  → model
 //	gen      tracegen, workload                    → model, gen
 //	cache    simcache                              → model
-//	harness  experiments                           → model, core, gen, cache
+//	harness  experiments, sweep                    → model, core, gen, cache, harness
 //	report   report                                → model, cache, harness
 //	serving  server                                → model, gen, cache, harness, report
 //	facade   the module root package               → everything below
@@ -69,6 +69,7 @@ var layerOf = map[string]string{
 	"simcache": layerCache,
 
 	"experiments": layerHarness,
+	"sweep":       layerHarness,
 
 	"report": layerReport,
 
@@ -84,7 +85,7 @@ var allowed = map[string]map[string]bool{
 	layerCore:    {layerModel: true},
 	layerGen:     {layerModel: true, layerGen: true},
 	layerCache:   {layerModel: true},
-	layerHarness: {layerModel: true, layerCore: true, layerGen: true, layerCache: true},
+	layerHarness: {layerModel: true, layerCore: true, layerGen: true, layerCache: true, layerHarness: true},
 	layerReport:  {layerModel: true, layerCache: true, layerHarness: true},
 	layerServing: {layerModel: true, layerGen: true, layerCache: true, layerHarness: true, layerReport: true},
 	layerFacade: {

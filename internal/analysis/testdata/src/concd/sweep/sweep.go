@@ -1,0 +1,92 @@
+// Package sweep is a concdiscipline fixture: its basename places it in the
+// policed concurrent layer alongside server and experiments. The shapes
+// mirror the real coordinator — a chunk channel fed under backpressure, a
+// per-worker inflight semaphore, owed-cell bookkeeping under a mutex — in
+// both their correct forms and the deadlock-shaped mutations the analyzer
+// must keep rejecting.
+package sweep
+
+import "sync"
+
+// W is one worker's coordinator-side state: a guarded owed list and
+// counter, a chunk channel, an inflight semaphore.
+type W struct {
+	mu     sync.Mutex
+	owed   int
+	chunks chan []int
+	sem    chan struct{}
+	wg     sync.WaitGroup
+}
+
+// badFeed dispatches a chunk while still holding the bookkeeping lock —
+// with a full channel and a worker blocked on the same lock, that is the
+// classic feeder deadlock.
+func (w *W) badFeed(chunk []int) {
+	w.mu.Lock()
+	w.owed += len(chunk)
+	w.chunks <- chunk // want "mutex w.mu held across channel send"
+	w.mu.Unlock()
+}
+
+// goodFeed records first, dispatches unlocked: backpressure can block the
+// send for as long as it likes without wedging anyone else.
+func (w *W) goodFeed(chunk []int) {
+	w.mu.Lock()
+	w.owed += len(chunk)
+	w.mu.Unlock()
+	w.chunks <- chunk
+}
+
+// badAcquire blocks on the inflight semaphore with the lock held.
+func (w *W) badAcquire() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sem <- struct{}{} // want "mutex w.mu held across channel send"
+}
+
+// badDrainWait joins the round's workers while holding the lock they need
+// to record their owed cells.
+func (w *W) badDrainWait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wg.Wait() // want "mutex w.mu held across w.wg.Wait"
+}
+
+// badDispatch launches an untracked chunk goroutine: it would outlive
+// round collection and write results after the merge.
+func (w *W) badDispatch(chunk []int) {
+	go func() { // want "goroutine has no tracked lifecycle"
+		w.chunks <- chunk
+	}()
+}
+
+// goodDispatch is the coordinator's real shape: semaphore slot, then
+// Add immediately before go, Done deferred first in the body.
+func (w *W) goodDispatch(chunk []int) {
+	w.sem <- struct{}{}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer func() { <-w.sem }()
+		w.run(chunk)
+	}()
+}
+
+// badOwed mutates the guarded counter without the lock — the round
+// collector would race the worker.
+func (w *W) badOwed(n int) {
+	w.owed += n // want "guarded counter w.owed mutated without holding w.mu"
+}
+
+// goodOwed takes the lock.
+func (w *W) goodOwed(n int) {
+	w.mu.Lock()
+	w.owed += n
+	w.mu.Unlock()
+}
+
+func (w *W) run(chunk []int) {
+	w.mu.Lock()
+	w.owed -= len(chunk)
+	w.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"decvec/internal/dva"
@@ -100,19 +101,27 @@ type BatchJob struct {
 //     machine (through the suite's singleflight and disk tiers, so a batch
 //     shares results with — and publishes results to — every other caller).
 //
-// Errors do not mask each other: all cells run, and the joined aggregate is
-// returned. Cancellation skips cells not yet started.
+// Errors do not mask each other: all cells run, the joined aggregate is
+// returned, and the cells that did succeed come back alongside it — a
+// partial batch returns every completed result with nil holes at the failed
+// positions. Cancellation skips cells not yet started.
 func (s *Suite) RunBatch(ctx context.Context, jobs []BatchJob) ([]*sim.Result, error) {
 	if len(jobs) == 0 {
 		return nil, nil
 	}
 
 	// Cold phase: materialize every distinct trace in parallel, so no hot
-	// worker ever stalls generating instructions.
+	// worker ever stalls generating instructions. Programs are deduped by
+	// name — which is also what the suite and the disk cache key on — so
+	// two distinct definitions sharing a name would silently answer one
+	// cell with the other's trace. Refuse the whole batch instead.
 	progs := make(map[string]*workload.Program, 8)
 	mats := make([]func() error, 0, 8)
 	for _, j := range jobs {
-		if _, ok := progs[j.Program.Name]; ok {
+		if prev, ok := progs[j.Program.Name]; ok {
+			if prev != j.Program {
+				return nil, fmt.Errorf("experiments: batch contains two distinct programs named %q; results would be keyed interchangeably", j.Program.Name)
+			}
 			continue
 		}
 		progs[j.Program.Name] = j.Program
@@ -175,30 +184,35 @@ func (s *Suite) RunBatch(ctx context.Context, jobs []BatchJob) ([]*sim.Result, e
 		return cells[a].cost > cells[b].cost
 	})
 
-	// Hot phase: drain the cells across the CPUs. RunCtx supplies the
-	// singleflight and cache tiers; the simulation itself lands on a pooled
-	// machine via simulateArch.
+	// Hot phase: drain the cells across the CPUs, each worker recording its
+	// own cell's outcome in place (distinct slots, so no lock is needed).
+	// RunCtx supplies the singleflight and cache tiers; the simulation
+	// itself lands on a pooled machine via simulateArch. parallelCtx runs
+	// every cell and joins every error — one failed cell must neither hide
+	// another's failure nor discard the cells that succeeded.
+	got := make([]*sim.Result, len(order))
 	fns := make([]func() error, len(order))
 	for i, k := range order {
 		c := cells[k]
 		fns[i] = func() error {
-			_, err := s.RunCtx(ctx, c.p, c.arch, c.cfg)
+			r, err := s.RunCtx(ctx, c.p, c.arch, c.cfg)
+			got[i] = r
 			return err
 		}
 	}
-	if err := parallelCtx(ctx, fns); err != nil {
-		return nil, err
-	}
+	hotErr := parallelCtx(ctx, fns)
 
-	// Collect in job order; every cell is cached now, so this is pure
-	// lookup.
+	// Collect in job order from the recorded outcomes — never by re-running
+	// a cell, which for a failed cell would mean a second simulation whose
+	// error masks the first. Failed cells leave nil holes; the joined
+	// hot-phase aggregate carries every cause.
+	byKey := make(map[suiteKey]*sim.Result, len(order))
+	for i, k := range order {
+		byKey[k] = got[i]
+	}
 	out := make([]*sim.Result, len(jobs))
 	for i, j := range jobs {
-		r, err := s.RunCtx(ctx, j.Program, j.Arch, j.Cfg)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
+		out[i] = byKey[key(j)]
 	}
-	return out, nil
+	return out, hotErr
 }

@@ -288,6 +288,11 @@ type SimulateRequest struct {
 	// TimeoutMs lowers the server's request timeout for this request; it
 	// can never raise it.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Raw answers with the canonical binary result encoding
+	// (application/octet-stream, the simcache payload format) instead of
+	// the metrics JSON — the single-cell path of the dvasweep remote
+	// executor, which merges byte-identical results across workers.
+	Raw bool `json:"raw,omitempty"`
 }
 
 // config materializes the request's sim.Config.
@@ -441,6 +446,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, err, http.StatusInternalServerError)
 		return
 	}
+	if req.Raw {
+		payload, err := simcache.EncodeResultBytes(res)
+		if err != nil {
+			s.httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		s.served.Add(1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(payload)
+		return
+	}
 	var b []byte
 	if s.cfg.Store != nil {
 		b, err = report.MetricsJSONWithCache(res, s.cfg.Store.Stats())
@@ -457,15 +473,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 // SweepRequest is the /v1/sweep body: a (program × arch × latency × queue)
-// grid. Empty dimensions take the paper defaults (simulated programs, both
-// architectures, the Figure 3-5 latency sweep, default queues).
+// grid, or an explicit cell list. Empty grid dimensions take the paper
+// defaults (simulated programs, both architectures, the Figure 3-5 latency
+// sweep, default queues).
 type SweepRequest struct {
 	Programs  []string `json:"programs,omitempty"`
 	Archs     []string `json:"archs,omitempty"`
 	Latencies []int64  `json:"latencies,omitempty"`
 	LoadQs    []int    `json:"loadqs,omitempty"`
 	StoreQs   []int    `json:"storeqs,omitempty"`
-	TimeoutMs int64    `json:"timeoutMs,omitempty"`
+	// Cells lists explicit cells instead of a grid (the dvasweep shard
+	// protocol); mutually exclusive with the dimensions above.
+	Cells []SweepCell `json:"cells,omitempty"`
+	// Stream selects the NDJSON streaming response (one SweepRow per cell
+	// in completion order, then a Done trailer) instead of the buffered
+	// SweepResponse.
+	Stream    bool  `json:"stream,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 }
 
 // SweepPoint is one cell of the sweep response.
@@ -497,24 +521,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	progs, specs, err := s.sweepGrid(&req)
+	jobs, err := s.sweepJobs(&req)
 	if err != nil {
 		s.badRequest(w, err)
+		return
+	}
+	if req.Stream {
+		s.streamSweep(w, r, &req, jobs)
 		return
 	}
 	s.sweepReqs.Add(1)
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	// Run the whole grid as one batch through the pooled machines
+	// Run the whole request as one batch through the pooled machines
 	// (trace-grouped, cost-sorted, admission-gated); results come back in
-	// grid order, one per batch job.
-	jobs := make([]experiments.BatchJob, 0, len(progs)*len(specs))
-	for _, p := range progs {
-		for _, spec := range specs {
-			jobs = append(jobs, experiments.BatchJob{Program: p, Arch: spec.Arch, Cfg: spec.Cfg})
-		}
-	}
+	// request order, one per batch job.
 	var results []*sim.Result
 	_, err = s.await(ctx, func() (*sim.Result, error) {
 		var berr error
@@ -544,9 +566,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// gridPoints computes the point count of a sweep request from its dimension
+// lengths alone (empty dimensions take their default sizes), so an oversized
+// grid is rejected before any program or spec expansion work is spent on it.
+func gridPoints(req *SweepRequest) int {
+	dim := func(n, def int) int {
+		if n == 0 {
+			return def
+		}
+		return n
+	}
+	return dim(len(req.Programs), len(workload.Simulated())) *
+		dim(len(req.Archs), 2) *
+		dim(len(req.Latencies), len(experiments.DefaultLatencies)) *
+		dim(len(req.LoadQs), 1) *
+		dim(len(req.StoreQs), 1)
+}
+
 // sweepGrid expands a sweep request into its program set and run specs,
-// enforcing the grid-size bound.
+// enforcing the grid-size bound — from the request's dimension counts, up
+// front, so an oversized request is refused before it burns allocation and
+// expansion work on a grid that was never going to run.
 func (s *Server) sweepGrid(req *SweepRequest) ([]*workload.Program, []experiments.RunSpec, error) {
+	if points := gridPoints(req); points > s.cfg.MaxSweepPoints {
+		return nil, nil, fmt.Errorf("sweep grid has %d points, cap is %d", points, s.cfg.MaxSweepPoints)
+	}
 	var progs []*workload.Program
 	if len(req.Programs) == 0 {
 		progs = workload.Simulated()
@@ -604,9 +648,6 @@ func (s *Server) sweepGrid(req *SweepRequest) ([]*workload.Program, []experiment
 				}
 			}
 		}
-	}
-	if points := len(progs) * len(specs); points > s.cfg.MaxSweepPoints {
-		return nil, nil, fmt.Errorf("sweep grid has %d points, cap is %d", points, s.cfg.MaxSweepPoints)
 	}
 	return progs, specs, nil
 }

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"decvec/internal/sim"
+)
+
+// Explicit cells are the dvasweep shard protocol: arbitrary cell lists,
+// not rectangles, answered in the buffered form when streaming is off.
+func TestSweepCellsMode(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Cells: []SweepCell{
+			{Program: "BDNA", Arch: "DVA", Latency: 1},
+			{Program: "OCEAN", Arch: "REF", Latency: 50},
+			{Program: "BDNA", Arch: "BYP", Latency: 100},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cells sweep: %s (%s)", resp.Status, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(sr.Points))
+	}
+	if sr.Points[1].Program != "OCEAN" || sr.Points[1].Latency != 50 {
+		t.Errorf("point order not preserved: %+v", sr.Points[1])
+	}
+}
+
+// Cells and grid dimensions in one request would be ambiguous; reject.
+func TestSweepCellsExclusiveWithGrid(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Programs: []string{"BDNA"},
+		Cells:    []SweepCell{{Program: "BDNA", Arch: "DVA", Latency: 1}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed cells+grid: %s (%s), want 400", resp.Status, body)
+	}
+}
+
+// A bad cell must name its position so a coordinator can log which shard
+// member was malformed.
+func TestSweepCellValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Cells: []SweepCell{
+			{Program: "BDNA", Arch: "DVA", Latency: 1},
+			{Program: "NOSUCH", Arch: "DVA", Latency: 1},
+		},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid cell: %s, want 400", resp.Status)
+	}
+	if !strings.Contains(string(body), "cell 1") {
+		t.Errorf("error does not name the offending cell: %s", body)
+	}
+}
+
+// The explicit cell list honors the same point cap as grids.
+func TestSweepCellsCap(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSweepPoints: 2})
+	cells := make([]SweepCell, 3)
+	for i := range cells {
+		cells[i] = SweepCell{Program: "BDNA", Arch: "DVA", Latency: int64(i + 1)}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Cells: cells})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap cells: %s, want 400", resp.Status)
+	}
+}
+
+// The grid cap must be computed from the request's dimension lengths
+// before anything is expanded — empty dimensions counting at their
+// default widths — so an oversized grid is rejected by arithmetic alone.
+func TestSweepGridCapComputedFromDimensions(t *testing.T) {
+	_, ts := testServer(t, Config{MaxSweepPoints: 4})
+	// No explicit programs or archs: the defaults (6 programs × 2 archs)
+	// must still count toward the product.
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Latencies: []int64{1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("default-dimension grid of 12 points under cap 4: %s, want 400", resp.Status)
+	}
+	if !strings.Contains(string(body), "12 points") {
+		t.Errorf("rejection does not carry the computed count: %s", body)
+	}
+}
+
+// The streaming mode answers NDJSON: one row per cell in completion
+// order, each carrying the canonical binary result, then a Done trailer
+// with the worker's cache counters.
+func TestSweepStreaming(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	cells := []SweepCell{
+		{Program: "BDNA", Arch: "DVA", Latency: 1},
+		{Program: "BDNA", Arch: "REF", Latency: 1},
+		{Program: "BDNA", Arch: "DVA", Latency: 50},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Cells: cells, Stream: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("streaming sweep: %s (%s)", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q, want application/x-ndjson", ct)
+	}
+	seen := map[int]bool{}
+	var done *SweepRow
+	dec := json.NewDecoder(bytes.NewReader(body))
+	for {
+		var row SweepRow
+		if err := dec.Decode(&row); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		if row.Done {
+			d := row
+			done = &d
+			continue
+		}
+		if row.Error != "" {
+			t.Fatalf("cell %d errored: %s", row.I, row.Error)
+		}
+		if seen[row.I] {
+			t.Fatalf("cell %d answered twice", row.I)
+		}
+		seen[row.I] = true
+		res, err := sim.DecodeResult(bytes.NewReader(row.Result))
+		if err != nil {
+			t.Fatalf("cell %d: undecodable canonical payload: %v", row.I, err)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("cell %d: implausible result: %+v", row.I, res)
+		}
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("stream answered %d of %d cells", len(seen), len(cells))
+	}
+	if done == nil {
+		t.Fatal("stream ended without a Done trailer")
+	}
+	if done.Simulations != srv.Suite().Simulations() {
+		t.Errorf("trailer simulations = %d, suite says %d", done.Simulations, srv.Suite().Simulations())
+	}
+}
+
+// Raw mode answers /v1/simulate with the canonical binary encoding
+// instead of the metrics JSON.
+func TestSimulateRaw(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Program: "BDNA", Arch: "DVA", Latency: 50, Raw: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw simulate: %s (%s)", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("content type = %q, want application/octet-stream", ct)
+	}
+	res, err := sim.DecodeResult(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("undecodable raw payload: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Errorf("implausible raw result: %+v", res)
+	}
+}

@@ -1,0 +1,188 @@
+// Package sweep is the distributed sweep engine: it enumerates a
+// (program × arch × latency × queue) parameter grid as a streaming plan,
+// shards its cells cache-affinely by simcache key prefix — every cell with
+// the same key prefix routes to the same worker, so repeat sweeps land each
+// cell on the worker whose disk tier already holds it — and drains the
+// shards through pluggable executors: an in-process executor over
+// experiments.Suite.RunBatch, and a remote executor speaking the dvad
+// /v1/sweep + /v1/simulate protocol with bounded inflight, retry-with-
+// backoff on 429/5xx, and failover re-sharding when a worker drops.
+//
+// Results merge deterministically in plan order whatever the workers'
+// completion order, under the same errors.Join discipline as RunBatch: a
+// partial sweep returns every completed result alongside the joined error.
+// The paper's figures are dense grids of independent simulations; this
+// package is what lets those grids be sized in millions of cells, bounded
+// by cores and cache hits rather than one process's wall clock.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"decvec/internal/experiments"
+	"decvec/internal/sim"
+	"decvec/internal/workload"
+)
+
+// GridSpec names a (program × arch × latency × loadQ × storeQ) grid by its
+// dimension values; its JSON form is the -grid file format of cmd/dvasweep.
+// Empty dimensions take the paper defaults: the six simulated programs,
+// REF and DVA, the Figure 3-5 latency sweep, default queue sizes.
+type GridSpec struct {
+	Programs  []string `json:"programs,omitempty"`
+	Archs     []string `json:"archs,omitempty"`
+	Latencies []int64  `json:"latencies,omitempty"`
+	LoadQs    []int    `json:"loadqs,omitempty"`
+	StoreQs   []int    `json:"storeqs,omitempty"`
+}
+
+// archSpec is one resolved architecture dimension value: BYP arrives as
+// DVA with the bypass bit, so its cells share cache keys — and therefore
+// shards — with the equivalent DVA+bypass cells.
+type archSpec struct {
+	arch   experiments.Arch
+	bypass bool
+}
+
+// Plan is a compiled grid: the dimension arrays, never the cell product.
+// Cells are decoded on demand by index, so a million-point plan costs the
+// same memory as a ten-point one — O(points) appears only in the result
+// slice a run necessarily returns.
+type Plan struct {
+	programs []*workload.Program
+	archs    []archSpec
+	lats     []int64
+	loadQs   []int
+	storeQs  []int
+}
+
+// NewPlan compiles a grid spec, resolving program names and architecture
+// spellings and validating every dimension value up front — a plan that
+// compiles cannot fail to enumerate.
+func NewPlan(spec GridSpec) (*Plan, error) {
+	p := &Plan{}
+	if len(spec.Programs) == 0 {
+		p.programs = workload.Simulated()
+	} else {
+		for _, name := range spec.Programs {
+			prog, err := workload.Get(name)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			p.programs = append(p.programs, prog)
+		}
+	}
+	archs := spec.Archs
+	if len(archs) == 0 {
+		archs = []string{"REF", "DVA"}
+	}
+	for _, a := range archs {
+		as := archSpec{arch: experiments.Arch(strings.ToUpper(a))}
+		if as.arch == "BYP" {
+			as.arch = experiments.DVA
+			as.bypass = true
+		}
+		if as.arch != experiments.REF && as.arch != experiments.DVA {
+			return nil, fmt.Errorf("sweep: unknown architecture %q (want REF, DVA or BYP)", a)
+		}
+		p.archs = append(p.archs, as)
+	}
+	p.lats = spec.Latencies
+	if len(p.lats) == 0 {
+		p.lats = experiments.DefaultLatencies
+	}
+	for _, l := range p.lats {
+		if l <= 0 {
+			return nil, fmt.Errorf("sweep: latency must be positive, got %d", l)
+		}
+	}
+	for _, q := range spec.LoadQs {
+		if q < 0 {
+			return nil, fmt.Errorf("sweep: load queue size must be >= 0, got %d", q)
+		}
+	}
+	for _, q := range spec.StoreQs {
+		if q < 0 {
+			return nil, fmt.Errorf("sweep: store queue size must be >= 0, got %d", q)
+		}
+	}
+	p.loadQs = spec.LoadQs
+	if len(p.loadQs) == 0 {
+		p.loadQs = []int{0}
+	}
+	p.storeQs = spec.StoreQs
+	if len(p.storeQs) == 0 {
+		p.storeQs = []int{0}
+	}
+	return p, nil
+}
+
+// Points returns the plan's cell count.
+func (p *Plan) Points() int {
+	return len(p.programs) * len(p.archs) * len(p.lats) * len(p.loadQs) * len(p.storeQs)
+}
+
+// Programs returns the plan's program set (the coordinator hashes each
+// program's trace once for key derivation).
+func (p *Plan) Programs() []*workload.Program { return p.programs }
+
+// Cell is one (program, architecture, configuration) point of a plan,
+// carrying both the materialized sim.Config the executors run and the raw
+// dimension values the remote wire protocol speaks. Index is the cell's
+// position in plan order — the merge key: results land at out[Index]
+// whatever worker produced them, in whatever order.
+type Cell struct {
+	Index   int
+	Program *workload.Program
+	Arch    experiments.Arch
+	Cfg     sim.Config
+
+	// Raw dimension values for the dvad wire protocol (0 = worker default).
+	Latency int64
+	LoadQ   int
+	StoreQ  int
+	Bypass  bool
+}
+
+// Cell decodes the i-th cell of plan order: programs outermost, then
+// architectures, latencies, load queues, store queues innermost — the same
+// nesting the dvad grid mode and experiments.WarmCtx enumerate, so a
+// distributed merge compares row-for-row with a local batch of the same
+// grid.
+func (p *Plan) Cell(i int) Cell {
+	n := i
+	sq := p.storeQs[n%len(p.storeQs)]
+	n /= len(p.storeQs)
+	lq := p.loadQs[n%len(p.loadQs)]
+	n /= len(p.loadQs)
+	lat := p.lats[n%len(p.lats)]
+	n /= len(p.lats)
+	a := p.archs[n%len(p.archs)]
+	n /= len(p.archs)
+	prog := p.programs[n]
+
+	cfg := sim.DefaultConfig(lat)
+	if lq > 0 {
+		cfg.AVDQSize = lq
+	}
+	if sq > 0 {
+		cfg.VADQSize = sq
+	}
+	cfg.Bypass = a.bypass
+	return Cell{
+		Index:   i,
+		Program: prog,
+		Arch:    a.arch,
+		Cfg:     cfg,
+		Latency: lat,
+		LoadQ:   lq,
+		StoreQ:  sq,
+		Bypass:  a.bypass,
+	}
+}
+
+// Job converts the cell to its batch-job form for the in-process executor.
+func (c Cell) Job() experiments.BatchJob {
+	return experiments.BatchJob{Program: c.Program, Arch: c.Arch, Cfg: c.Cfg}
+}

@@ -1,0 +1,260 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decvec/internal/experiments"
+	"decvec/internal/server"
+	"decvec/internal/sim"
+	"decvec/internal/simcache"
+	"decvec/internal/workload"
+)
+
+// dvadServer spins a real in-process dvad for the remote executor to talk
+// to; only the test file imports internal/server (test files sit outside
+// the layer DAG).
+func dvadServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{Scale: 0.05})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+// canonical is the cell's result as the local suite computes and encodes
+// it — the byte-identity reference for whatever the wire returns.
+func canonical(t *testing.T, suite *experiments.Suite, c Cell) []byte {
+	t.Helper()
+	res, err := suite.RunCtx(context.Background(), c.Program, c.Arch, c.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simcache.EncodeResultBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func encodeOf(t *testing.T, r *sim.Result) []byte {
+	t.Helper()
+	b, err := simcache.EncodeResultBytes(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// A worker that sheds load with 429 must be retried with backoff, not
+// declared down — and the results it finally returns must byte-match a
+// local run.
+func TestRemoteRetriesAfter429(t *testing.T) {
+	ts := dvadServer(t)
+	var rejected atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/sweep" && rejected.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Scheme = "http"
+		r2.URL.Host = ts.Listener.Addr().String()
+		proxy(w, r2)
+	}))
+	defer front.Close()
+
+	plan := testPlan(t, 6)
+	cells := make([]Cell, plan.Points())
+	for i := range cells {
+		cells[i] = plan.Cell(i)
+	}
+	rr := NewRemote(front.URL, RemoteOptions{Retries: 5, Backoff: time.Millisecond})
+	out, err := rr.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := experiments.NewSuite(0.05)
+	for i, r := range out {
+		if r == nil {
+			t.Fatalf("cell %d missing", i)
+		}
+		if !bytes.Equal(encodeOf(t, r), canonical(t, suite, cells[i])) {
+			t.Errorf("cell %d differs from the local run", i)
+		}
+	}
+	if got := rr.Stats().Retries; got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+}
+
+// A stream that breaks mid-way must be resumed by retrying only the cells
+// never received: rows already flushed stay merged.
+func TestRemoteRecoversFromMidStreamBreak(t *testing.T) {
+	ts := dvadServer(t)
+	suite := experiments.NewSuite(0.05)
+	var sweeps atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/sweep" && sweeps.Add(1) == 1 {
+			// Serve the first two cells for real, then drop the
+			// connection before the trailer.
+			var req server.SweepRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Cells) < 3 {
+				t.Errorf("first sweep request malformed: %v (%d cells)", err, len(req.Cells))
+				panic(http.ErrAbortHandler)
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			enc := json.NewEncoder(w)
+			for i := 0; i < 2; i++ {
+				p, err := workload.Get(req.Cells[i].Program)
+				if err != nil {
+					t.Error(err)
+					panic(http.ErrAbortHandler)
+				}
+				res, err := suite.RunCtx(r.Context(), p, experiments.Arch(req.Cells[i].Arch), sim.DefaultConfig(req.Cells[i].Latency))
+				if err != nil {
+					t.Error(err)
+					panic(http.ErrAbortHandler)
+				}
+				enc.Encode(server.SweepRow{I: i, Result: encodeOf(t, res)})
+				w.(http.Flusher).Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		r2 := r.Clone(r.Context())
+		r2.URL.Scheme = "http"
+		r2.URL.Host = ts.Listener.Addr().String()
+		proxy(w, r2)
+	}))
+	defer front.Close()
+
+	plan := testPlan(t, 6)
+	cells := make([]Cell, plan.Points())
+	for i := range cells {
+		cells[i] = plan.Cell(i)
+	}
+	rr := NewRemote(front.URL, RemoteOptions{Retries: 3, Backoff: time.Millisecond})
+	out, err := rr.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := experiments.NewSuite(0.05)
+	for i, r := range out {
+		if r == nil {
+			t.Fatalf("cell %d missing after mid-stream recovery", i)
+		}
+		if !bytes.Equal(encodeOf(t, r), canonical(t, ref, cells[i])) {
+			t.Errorf("cell %d differs from the local run", i)
+		}
+	}
+	if got := rr.Stats().Retries; got < 1 {
+		t.Errorf("retries = %d, want >= 1", got)
+	}
+}
+
+// A single-cell chunk rides /v1/simulate in raw mode and must return the
+// same canonical bytes.
+func TestRemoteSingleCellRawPath(t *testing.T) {
+	ts := dvadServer(t)
+	plan := testPlan(t, 3)
+	rr := NewRemote(ts.URL, RemoteOptions{Retries: 2, Backoff: time.Millisecond})
+	cells := []Cell{plan.Cell(1)}
+	out, err := rr.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := experiments.NewSuite(0.05)
+	if !bytes.Equal(encodeOf(t, out[0]), canonical(t, suite, cells[0])) {
+		t.Error("raw /v1/simulate result differs from the local run")
+	}
+}
+
+// A worker that is simply gone must exhaust its retries and surface
+// ErrWorkerDown — the coordinator's failover signal.
+func TestRemoteDeadWorkerReportsDown(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	plan := testPlan(t, 4)
+	cells := make([]Cell, plan.Points())
+	for i := range cells {
+		cells[i] = plan.Cell(i)
+	}
+	rr := NewRemote(dead.URL, RemoteOptions{Retries: 1, Backoff: time.Millisecond})
+	_, err := rr.Run(context.Background(), cells)
+	if !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("dead worker error = %v, want ErrWorkerDown", err)
+	}
+}
+
+// A 400 rejection is permanent: retrying a request the worker rejected as
+// malformed can never succeed, and must not be mistaken for worker death.
+func TestRemoteBadRequestIsPermanent(t *testing.T) {
+	var calls atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/sweep" {
+			calls.Add(1)
+		}
+		http.Error(w, "no such program", http.StatusBadRequest)
+	}))
+	defer front.Close()
+
+	plan := testPlan(t, 4)
+	cells := make([]Cell, plan.Points())
+	for i := range cells {
+		cells[i] = plan.Cell(i)
+	}
+	rr := NewRemote(front.URL, RemoteOptions{Retries: 3, Backoff: time.Millisecond})
+	_, err := rr.Run(context.Background(), cells)
+	if err == nil || errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("400 must be a permanent non-down error, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 was retried %d times; must not be retried", calls.Load()-1)
+	}
+}
+
+// proxy forwards one request to the backing server and copies the
+// response through, preserving streaming flushes.
+func proxy(w http.ResponseWriter, r *http.Request) {
+	r.RequestURI = ""
+	resp, err := http.DefaultClient.Do(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
