@@ -134,6 +134,89 @@ func TestOOOArenaReuseEquivalence(t *testing.T) {
 	}
 }
 
+// TestDVAWakeWheelStaleStateReuse pins the wake scheduler's slice of the
+// Reset contract with same-geometry reuse, where reset takes every
+// "reuse in place" branch and nothing is rebuilt. A finished run parks the
+// wheel with every unit asleep far in the future, dirty bits folded, stall
+// caches and last-step cycles at end-of-trace values; the next run — a
+// different program under the identical config — must not inherit any of it
+// (a stale wake time would let a unit oversleep, a stale dirty bit would
+// step it spuriously, stale stall debt would corrupt the counters).
+// Alternating recorder-off and recorder-on runs crosses the two stall
+// accounting regimes on the same pooled machine: the off-run leaves debt
+// bookkeeping (lastStep) behind, the on-run leaves replayed per-cycle
+// streams, and each must reset away byte-exactly for the other.
+func TestDVAWakeWheelStaleStateReuse(t *testing.T) {
+	progs := workload.Simulated()
+	if len(progs) < 2 {
+		t.Fatal("need at least two simulated programs")
+	}
+	// First and last differ most in dispatch/memory character, maximizing
+	// how wrong a carried-over wake wheel would be.
+	pa, pb := progs[0], progs[len(progs)-1]
+	cfg := sim.DefaultConfig(30)
+	runner := dva.NewRunner()
+
+	for round, p := range []*workload.Program{pa, pb, pa, pb} {
+		src := p.CachedTrace(equivalenceScale)
+		name := testName(p.Name, 30, round)
+		if round%2 == 0 {
+			// Recorder-off: bulk stall-debt accounting.
+			fresh, err := dva.Run(src, cfg)
+			if err != nil {
+				t.Fatalf("%s: fresh run: %v", name, err)
+			}
+			var pooled sim.Result
+			if err := runner.RunInto(&pooled, src, cfg); err != nil {
+				t.Fatalf("%s: pooled run: %v", name, err)
+			}
+			assertPooledIdentical(t, name+"/rec-off", fresh, &pooled)
+		} else {
+			// Recorder-on: per-cycle replay, event streams compared too.
+			freshRec := sim.NewRecorder()
+			fresh, err := dva.RunRecorded(src, cfg, freshRec)
+			if err != nil {
+				t.Fatalf("%s: fresh run: %v", name, err)
+			}
+			var pooled sim.Result
+			pooledRec := sim.NewRecorder()
+			if err := runner.RunRecordedInto(&pooled, src, cfg, pooledRec); err != nil {
+				t.Fatalf("%s: pooled run: %v", name, err)
+			}
+			assertPooledIdentical(t, name+"/rec-on", fresh, &pooled)
+			assertSameEvents(t, freshRec, pooledRec)
+		}
+	}
+}
+
+// TestOOOWakeWheelStaleStateReuse is the OOO-core counterpart: same-geometry
+// cross-trace reuse of the three-unit wheel (fetch/issue/retire wake times
+// and action-graph dirty bits). The OOO core has no recorder, so results
+// alone carry the comparison.
+func TestOOOWakeWheelStaleStateReuse(t *testing.T) {
+	progs := workload.Simulated()
+	if len(progs) < 2 {
+		t.Fatal("need at least two simulated programs")
+	}
+	pa, pb := progs[0], progs[len(progs)-1]
+	cfg := ooo.DefaultConfig(30)
+	runner := ooo.NewRunner()
+
+	for round, p := range []*workload.Program{pa, pb, pa, pb} {
+		src := p.CachedTrace(equivalenceScale)
+		name := testName(p.Name, 30, round)
+		fresh, err := ooo.Run(src, cfg)
+		if err != nil {
+			t.Fatalf("%s: fresh run: %v", name, err)
+		}
+		var pooled sim.Result
+		if err := runner.RunInto(&pooled, src, cfg); err != nil {
+			t.Fatalf("%s: pooled run: %v", name, err)
+		}
+		assertPooledIdentical(t, name, fresh, &pooled)
+	}
+}
+
 // TestArenaReuseSlowTick crosses the two contracts: a pooled machine in
 // SlowTick mode must still match a fresh fast-path machine after normalize.
 func TestArenaReuseSlowTick(t *testing.T) {

@@ -9,11 +9,14 @@
 // With -min-geomean set, benchjson doubles as the CI performance gate: the
 // report is still written, then the process exits nonzero if the figure
 // geomean speedup falls below the floor (CI uses 0.95, allowing runner
-// noise but failing real regressions).
+// noise but failing real regressions). Feed it a `-count 3` (or higher) run:
+// repeated lines for one benchmark are reduced to their per-metric median
+// before any speedup is computed, so one descheduled run cannot flake the
+// gate.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -benchmem -run '^$' . > current.txt
+//	go test -bench . -benchtime 1x -count 3 -benchmem -run '^$' . > current.txt
 //	go run ./cmd/benchjson -baseline bench/baseline_pr8.txt \
 //	    -current current.txt -out BENCH_CI.json -min-geomean 0.95 \
 //	    -desc "..." -notes "..."
@@ -31,13 +34,19 @@ import (
 	"strings"
 )
 
-// result holds one benchmark line's metrics keyed by unit ("ns/op",
+// result holds one benchmark's metrics keyed by unit ("ns/op",
 // "allocs/op", "sims/op", ...).
 type result map[string]float64
 
-// parseBench reads `go test -bench` output and returns name → metrics. The
-// trailing -N GOMAXPROCS suffix is stripped so runs from machines with
-// different core counts compare by name.
+// samples collects every value a metric reported across repeated runs of the
+// same benchmark (`go test -count N` emits one line per run).
+type samples map[string][]float64
+
+// parseBench reads `go test -bench` output and returns name → metrics. A
+// benchmark that appears on several lines (a -count N run) contributes the
+// per-metric median, so a single jittery run cannot swing the speedup the CI
+// gate checks. The trailing -N GOMAXPROCS suffix is stripped so runs from
+// machines with different core counts compare by name.
 func parseBench(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -45,7 +54,7 @@ func parseBench(path string) (map[string]result, error) {
 	}
 	defer f.Close()
 
-	out := make(map[string]result)
+	all := make(map[string]samples)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -58,7 +67,11 @@ func parseBench(path string) (map[string]result, error) {
 				name = name[:i]
 			}
 		}
-		r := make(result)
+		s := all[name]
+		if s == nil {
+			s = make(samples)
+			all[name] = s
+		}
 		// fields[1] is the iteration count; the rest come in (value, unit)
 		// pairs regardless of which metrics a benchmark reports.
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -66,11 +79,33 @@ func parseBench(path string) (map[string]result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s: bad value %q for %s", path, fields[i], name)
 			}
-			r[fields[i+1]] = v
+			s[fields[i+1]] = append(s[fields[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]result, len(all))
+	for name, s := range all {
+		r := make(result, len(s))
+		for unit, vs := range s {
+			r[unit] = median(vs)
 		}
 		out[name] = r
 	}
-	return out, sc.Err()
+	return out, nil
+}
+
+// median returns the middle sample (mean of the middle two for even counts).
+// Callers never pass an empty slice: every parsed metric has ≥ 1 sample.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // entry is one benchmark's row in the JSON output.

@@ -39,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 // fields directly.
 var approvedMutators = map[string]bool{
 	"New": true, "Init": true, "Push": true, "Pop": true, "Reset": true,
-	"SetObserver": true, "account": true,
+	"SetObserver": true, "SetWake": true, "account": true,
 }
 
 func run(pass *analysis.Pass) error {

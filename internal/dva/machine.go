@@ -127,14 +127,27 @@ type machine struct {
 	// that); -1 until then. Near-drain cycles then cost one comparison
 	// instead of rechecking all 14 queues and the register scoreboards.
 	drainBusy int64
-	// horizon2 is the second-smallest distinct future timestamp seen by the
-	// last horizon() scan, and horizon2OK marks it usable. An idle, unmutated
-	// cycle cannot change the machine's timestamp set, so when the machine
-	// wakes at the horizon and immediately idles again the next skip target
-	// is exactly this cached value — no rescan needed. Any progress or
-	// mutation invalidates it.
-	horizon2   int64
-	horizon2OK bool
+
+	// Wake wheel (fast path; see sched.go). wake[u] is the earliest cycle
+	// unit u must step again; dirty packs two per-unit bit sets (low half:
+	// step this cycle; high half: step next cycle, covering queue-entry
+	// visibility) raised by queue mutations through the queues' wake
+	// wiring. stallCache[u][:stallN[u]] holds the stall reasons a sleeping
+	// unit replays on every skipped cycle. Fixed-size arrays throughout: the
+	// scheduler adds no allocation to the hot path.
+	wake       [numUnits]int64
+	dirty      uint32
+	stallCache [numUnits][2]sim.StallReason
+	stallN     [numUnits]int8
+	// lastStep[u] is the cycle unit u last stepped at; recorder-off fast
+	// runs use it to settle a woken unit's slept-cycle stall counts in one
+	// multiplication instead of replaying them per cycle (see tickUnit and
+	// settleStallDebt).
+	lastStep [numUnits]int64
+	// progressCount counts progress() calls; tickUnit diffs it across one
+	// step to detect that the unit acted (a store start, for instance,
+	// progresses without any queue movement).
+	progressCount int64
 }
 
 // drainFront returns a pointer to the oldest in-flight drain. Callers check
@@ -145,6 +158,9 @@ func (m *machine) drainFront() *drain {
 
 // pushDrain enqueues a drain completion. The ring is sized to the AVDQ, and
 // every drain holds an AVDQ slot, so overflow is impossible by construction.
+// The drain unit's wake time is maintained here (the one cross-unit event
+// with no queue mutation to raise a dirty bit): a completion can only
+// tighten it, never loosen it.
 func (m *machine) pushDrain(d drain) {
 	i := m.drainHead + m.drainLen
 	if i >= len(m.drains) {
@@ -152,6 +168,9 @@ func (m *machine) pushDrain(d drain) {
 	}
 	m.drains[i] = d
 	m.drainLen++
+	if d.doneAt < m.wake[uDrain] {
+		m.wake[uDrain] = d.doneAt
+	}
 }
 
 // popDrain retires the oldest in-flight drain.
@@ -234,6 +253,7 @@ func newMachine(src trace.Source, cfg sim.Config) *machine {
 	m.vsaq.Init("VSAQ", cfg.EffVSAQSize())
 	m.afbq.Init("AFBQ", sq)
 	m.sfbq.Init("SFBQ", sq)
+	m.wireWake()
 	m.setStream(src)
 	return m
 }
@@ -245,7 +265,10 @@ func (m *machine) deadlockWindow() int64 {
 	return 16*(m.cfg.MemLatency+isa.MaxVL+m.cfg.DivDepth) + 4096
 }
 
-func (m *machine) progress() { m.lastProgress = m.now }
+func (m *machine) progress() {
+	m.lastProgress = m.now
+	m.progressCount++
+}
 
 // declint:hotpath
 func (m *machine) run() error {
@@ -258,23 +281,47 @@ func (m *machine) run() error {
 	for {
 		m.nCycleStalls = 0
 		m.mutated = false
-		m.stepFetch()
 		// Loads normally have first claim on the address bus (they sit on
 		// the critical path; stores never stall the processor, §4.2). The
 		// store engine gets priority when the store queues are under
 		// pressure, so a long load streak cannot starve stores into
-		// overflowing their queues.
-		if m.storePressure() {
-			m.stepStoreEngine()
-			m.stepAP()
+		// overflowing their queues. The unit order is identical in both
+		// modes; the fast path merely replaces each step call with a wake-
+		// wheel tick that replays the unit's cached stalls instead of
+		// stepping it when nothing it reads has changed (see sched.go).
+		if fast {
+			m.tickUnit(uFP)
+			if m.storePressure() {
+				m.tickUnit(uST)
+				m.tickUnit(uAP)
+			} else {
+				m.tickUnit(uAP)
+				m.tickUnit(uST)
+			}
+			m.tickUnit(uSP)
+			m.tickUnit(uVP)
+			if m.drainLen > 0 {
+				m.tickUnit(uDrain)
+			}
+			// Fold the visibility half of the dirty word: queue entries
+			// pushed this cycle become visible next cycle, so their
+			// consumers' next-cycle bits become current-cycle bits.
+			d := m.dirty
+			m.dirty = (d | d>>16) & unitMaskAll
 		} else {
-			m.stepAP()
-			m.stepStoreEngine()
-		}
-		m.stepSP()
-		m.stepVP()
-		if m.drainLen > 0 {
-			m.completeDrains()
+			m.stepFetch()
+			if m.storePressure() {
+				m.stepStoreEngine()
+				m.stepAP()
+			} else {
+				m.stepAP()
+				m.stepStoreEngine()
+			}
+			m.stepSP()
+			m.stepVP()
+			if m.drainLen > 0 {
+				m.completeDrains()
+			}
 		}
 		// Batched counterpart of stall(): one pass tallies the cycle's stall
 		// reasons, before finished() so a terminal cycle still counts.
@@ -282,16 +329,14 @@ func (m *machine) run() error {
 			m.stalls[r]++
 		}
 		if m.finished() {
+			if fast && m.rec == nil {
+				m.settleStallDebt()
+			}
 			return nil
 		}
 		m.sample()
 		progressed := m.lastProgress == m.now
 		m.now++
-		if progressed || m.mutated {
-			// Any state change redraws the timestamp set; the cached
-			// runner-up horizon is stale.
-			m.horizon2OK = false
-		}
 		if progressed {
 			idleSteps = 0
 			continue
@@ -301,129 +346,21 @@ func (m *machine) run() error {
 			return fmt.Errorf("deadlock at cycle %d: %s", m.now, m.dumpState())
 		}
 		// Idle-skip fast path: the cycle just simulated made no progress and
-		// mutated nothing, so every unit repeats exactly the same decisions
-		// each cycle until the event horizon — jump there in one step,
-		// accounting the skipped span in bulk. SlowTick keeps the plain
-		// per-cycle loop as the reference mode the equivalence suite checks
-		// this path against. Scanning on the very first idle iteration pays
-		// off because idle gaps are overwhelmingly multi-cycle (memory
-		// latencies, vector-length occupancies): eagerly skipping them saves
-		// a full all-units iteration per gap, while the rare one-cycle gap
-		// only costs the (cheaper) scan.
-		if fast && !m.mutated && idleSteps >= 1 {
-			var h int64
-			if m.horizon2OK && m.horizon2 >= m.now {
-				// The machine woke at the previous horizon and idled straight
-				// through: the timestamp set is unchanged, so the next target
-				// is the scan's cached runner-up — no rescan.
-				h = m.horizon2
-				m.horizon2OK = false
-			} else {
-				h = m.horizon()
-			}
-			if h > m.now {
+		// mutated nothing, so no queue moved (every queue mutation lives
+		// inside a progressing step), every dirty bit is clear, and every
+		// unit verifiably sleeps past m.now — the machine repeats the same
+		// cycle verbatim until the earliest wake time. Jump there in one
+		// step, accounting the skipped span in bulk. This is the all-units-
+		// asleep degenerate case of the wake wheel: the skip target is a
+		// six-entry minimum, not a machine-wide timestamp rescan. SlowTick
+		// keeps the plain per-cycle loop as the reference mode the
+		// equivalence suite checks this path against.
+		if fast && !m.mutated {
+			if h := m.nextWake(); h > m.now {
 				m.skipTo(h)
 			}
 		}
 	}
-}
-
-// horizon returns the earliest cycle >= m.now at which any unit's decision
-// inputs can change: the minimum over every future timestamp stored in the
-// machine (FU/QMOV/bypass busy-until times, bus port releases, store-engine
-// and drain completions, register scoreboard ready times, chain-start points
-// and queue-entry data-arrival times). Every step function's choices are
-// predicates of the form "timestamp <= now" over this set, so on a cycle
-// with no progress and no mutation the machine's behaviour is constant on
-// [m.now, horizon). The set is deliberately a superset of what any single
-// decision needs — waking early is safe (the next iteration just skips
-// again), overshooting never happens. Returns MaxInt64 when nothing is in
-// flight (the caller's deadlock window then counts the machine out).
-func (m *machine) horizon() int64 {
-	now := m.now
-	const inf = int64(1)<<62 - 1
-	// h is the minimum future timestamp, h2 the second-smallest distinct one
-	// (cached for the wake-and-idle-again fast path; see horizon2). Keep
-	// both in locals; these comparisons are the hottest straight-line code
-	// of the fast path.
-	h, h2 := inf, inf
-	h, h2 = lower2(h, h2, now, m.fu1Busy)
-	h, h2 = lower2(h, h2, now, m.fu2Busy)
-	for _, t := range m.qmovBusy {
-		h, h2 = lower2(h, h2, now, t)
-	}
-	h, h2 = lower2(h, h2, now, m.bypassBusyUntil)
-	h, h2 = lower2(h, h2, now, m.bus.FreeCycle())
-	if m.storeActive {
-		h, h2 = lower2(h, h2, now, m.storeDoneAt)
-	}
-	if m.drainLen > 0 {
-		h, h2 = lower2(h, h2, now, m.drainFront().doneAt)
-	}
-	for _, t := range m.aReady {
-		h, h2 = lower2(h, h2, now, t)
-	}
-	for _, t := range m.sReady {
-		h, h2 = lower2(h, h2, now, t)
-	}
-	chain := m.cfg.ChainDelay
-	for i := range m.vRegs {
-		v := &m.vRegs[i]
-		h, h2 = lower2(h, h2, now, v.writeReady)
-		h, h2 = lower2(h, h2, now, v.readBusyUntil)
-		if v.chainable {
-			h, h2 = lower2(h, h2, now, v.writeStart+chain)
-		}
-	}
-	// Queue entries: only the slots a consumer can actually examine this
-	// cycle carry decision-relevant timestamps. The SP, VP and store engine
-	// peek at their queues' heads; the AP peeks at the first two SAAQ
-	// entries (its operand count bound); the VP's load QMOV peeks at the
-	// AVDQ entry just behind the in-flight drains. The bypass unit alone
-	// scans the VADQ for an arbitrary store's slot, so that (small) queue is
-	// walked in full. Deeper entries cannot influence any decision before a
-	// pop reshuffles the heads — and a pop is progress, which ends the
-	// skipped span anyway.
-	for _, q := range [...]*queue.Q[sslot]{&m.asdq, &m.sadq, &m.svdq, &m.vsdq} {
-		if s, ok := q.Peek(m.now); ok {
-			h, h2 = lower2(h, h2, now, s.readyAt)
-		}
-	}
-	for i := 0; i < 2; i++ {
-		s, ok := m.saaq.PeekAt(m.now, i)
-		if !ok {
-			break
-		}
-		h, h2 = lower2(h, h2, now, s.readyAt)
-	}
-	if v, ok := m.avdq.PeekAt(m.now, m.drainLen); ok {
-		h, h2 = lower2(h, h2, now, v.readyAt)
-	}
-	m.vadq.All(m.now, func(v *vslot) bool { h, h2 = lower2(h, h2, now, v.readyAt); return true })
-	for _, q := range [...]*queue.Q[storeAddr]{&m.ssaq, &m.vsaq} {
-		if st, ok := q.Head(m.now); ok && !st.needsData {
-			h, h2 = lower2(h, h2, now, st.dataReadyAt)
-		}
-	}
-	m.horizon2, m.horizon2OK = h2, h2 < inf
-	return h
-}
-
-// lower2 folds candidate timestamp t into the running (smallest, second
-// smallest) pair of distinct future timestamps. A plain value function —
-// unlike a closure over h/h2 it inlines at every horizon call site and keeps
-// the pair in registers.
-func lower2(h, h2, now, t int64) (int64, int64) {
-	if t < now || t == h {
-		return h, h2
-	}
-	if t < h {
-		return t, h
-	}
-	if t < h2 {
-		return h, t
-	}
-	return h, h2
 }
 
 // skipTo bulk-accounts the idle span [m.now, h) and jumps m.now to h. During
@@ -435,9 +372,17 @@ func lower2(h, h2, now, t int64) (int64, int64) {
 // jump composes exactly.
 func (m *machine) skipTo(h int64) {
 	n := h - m.now
-	for _, r := range m.cycleStalls[:m.nCycleStalls] {
-		m.stalls.Add(r, n)
-		m.rec.StallSpan(m.now, r, n)
+	if m.rec != nil {
+		// With a recorder the counters track the replayed event stream cycle
+		// for cycle, so the skipped span is added here in bulk. Recorder-off
+		// runs leave this to stall-debt settlement: every unit is asleep
+		// across the span, and its cached reasons are charged for the whole
+		// sleep when it next steps (tickUnit) or at end of run
+		// (settleStallDebt) — adding them here too would double-count.
+		for _, r := range m.cycleStalls[:m.nCycleStalls] {
+			m.stalls.Add(r, n)
+			m.rec.StallSpan(m.now, r, n)
+		}
 	}
 	fu2 := m.now < m.fu2Busy
 	fu1 := m.now < m.fu1Busy

@@ -177,7 +177,17 @@ func (m *machine) reset(src trace.Source, cfg sim.Config) {
 	m.mutated = false
 	m.dispBlocked, m.iqFreed = false, false
 	m.drainBusy = -1
-	m.horizon2, m.horizon2OK = 0, false
+
+	// Wake wheel: every unit due at cycle 0, no dirty bits, no cached
+	// stalls — bit-identical to a machine fresh from newMachine. The queues'
+	// wake wiring is structural (Init preserves it), so it is not redone
+	// here.
+	m.wake = [numUnits]int64{}
+	m.dirty = 0
+	m.stallCache = [numUnits][2]sim.StallReason{}
+	m.stallN = [numUnits]int8{}
+	m.lastStep = [numUnits]int64{}
+	m.progressCount = 0
 }
 
 // appendQueueStat appends one queue's occupancy summary to qs.

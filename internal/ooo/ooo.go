@@ -126,6 +126,14 @@ type machine struct {
 
 	maxDone      int64
 	lastProgress int64
+
+	// Wake wheel (see sched.go): per-unit wake times, the dirty byte the
+	// tick wrapper raises along the fetch→issue→retire→fetch action edges,
+	// and the per-cycle action counter tick uses to detect that a step
+	// function did something.
+	wake          [numUnits]int64
+	dirty         uint8
+	progressCount int64
 }
 
 var zeroValue = value{valid: true, chainable: false}
@@ -196,9 +204,15 @@ func (m *machine) run() error {
 	// per-cycle deadlock window stays a valid (conservative) bound.
 	var idleSteps int64
 	for {
-		m.fetch()
-		m.issueOne()
-		m.retire()
+		if fast {
+			m.tick(oFetch)
+			m.tick(oIssue)
+			m.tick(oRetire)
+		} else {
+			m.fetch()
+			m.issueOne()
+			m.retire()
+		}
 		if m.finished() {
 			return nil
 		}
@@ -213,15 +227,16 @@ func (m *machine) run() error {
 		if idleSteps >= window {
 			return fmt.Errorf("deadlock at cycle %d (window %d entries)", m.now, m.wLen)
 		}
-		// Idle-skip fast path: a cycle with no fetch, issue or retirement
-		// leaves every decision input unchanged, so the machine repeats it
-		// verbatim until the event horizon — jump there, accounting the
-		// constant (FU2, FU1, LD) state in bulk. SlowTick keeps the plain
-		// per-cycle loop as the equivalence suite's reference mode. The
-		// second-idle-iteration gate keeps the horizon scan off one-cycle
-		// gaps, where it could never pay for itself.
-		if fast && idleSteps >= 2 {
-			if h := m.horizon(); h > m.now {
+		// Idle skip: on a progress-free cycle every dirty bit is clear (bits
+		// are only raised by acting steps, and each unit's tick consumed any
+		// bit left from the previous cycle), so the machine repeats the cycle
+		// verbatim until the earliest wake time — jump there, accounting the
+		// constant (FU2, FU1, LD) state in bulk. Unlike the old horizon scan
+		// this is a three-entry minimum, not a window rescan, so it runs on
+		// the first idle cycle. SlowTick keeps the plain per-cycle loop as
+		// the equivalence suite's reference mode.
+		if fast {
+			if h := m.nextWake(); h > m.now {
 				m.states.ObserveN(sim.MakeState(m.now < m.fu2Busy, m.now < m.fu1Busy, m.bus.BusyAt(m.now)), h-m.now)
 				m.now = h
 			}
@@ -229,49 +244,10 @@ func (m *machine) run() error {
 	}
 }
 
-// horizon returns the earliest cycle >= m.now at which any issue or
-// retirement decision input can change: the minimum over the functional-unit
-// busy times, the next bus-port release, the retirement bound maxDone, and
-// every in-flight value's completion (and chain-start) time. Values whose
-// producers have not issued carry no timestamp — they wake only through an
-// issue, which is progress, so they never constrain the horizon. The set is
-// a superset of what any one decision needs; waking early is safe, the next
-// iteration just skips again. Returns a huge sentinel when nothing is in
-// flight (the deadlock window then counts the machine out cycle by cycle).
-func (m *machine) horizon() int64 {
-	h := int64(1)<<62 - 1
-	lower := func(t int64) {
-		if t >= m.now && t < h {
-			h = t
-		}
-	}
-	lower(m.fu1Busy)
-	lower(m.fu2Busy)
-	lower(m.bus.FreeCycle())
-	lower(m.maxDone)
-	value := func(v *value) {
-		if v != nil && v.valid {
-			lower(v.ready)
-			if v.chainable {
-				lower(v.start + m.cfg.ChainDelay)
-			}
-		}
-	}
-	for i := 0; i < m.wLen; i++ {
-		// dst gates retirement; the source snapshots gate issue (they can
-		// outlive their producer's window entry, so scan them directly).
-		e := m.winAt(i)
-		value(e.dst)
-		if !e.issued {
-			value(e.src1)
-			value(e.src2)
-			value(e.data)
-		}
-	}
-	return h
+func (m *machine) progress() {
+	m.lastProgress = m.now
+	m.progressCount++
 }
-
-func (m *machine) progress() { m.lastProgress = m.now }
 
 func (m *machine) finished() bool {
 	if !m.streamDone || m.hasPending || m.wLen > 0 {

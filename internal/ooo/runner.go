@@ -107,4 +107,10 @@ func (m *machine) reset(cfg Config) {
 	m.counts = sim.Counts{}
 	m.traffic = sim.MemTraffic{}
 	m.maxDone, m.lastProgress = 0, 0
+
+	// Wake wheel: every unit due at cycle 0 with no dirty bits —
+	// bit-identical to a fresh machine.
+	m.wake = [numUnits]int64{}
+	m.dirty = 0
+	m.progressCount = 0
 }

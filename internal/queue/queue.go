@@ -46,6 +46,42 @@ type Q[T any] struct {
 	lastT      int64
 
 	obs Observer
+
+	// wakeWord/wake are the queue's wake-scheduler wiring: after a
+	// successful push or pop the applicable wake masks are OR-ed into the
+	// word. The owning machine points every queue at its packed dirty word
+	// (low half = current-cycle dirty bits, high half = next-cycle bits, one
+	// per unit) with masks naming the units whose decisions read this queue,
+	// so a mutation wakes exactly those units at this cycle and the next —
+	// the next-cycle half covers the one-cycle visibility delay. The wiring
+	// is structural (pointers into the machine itself), so Init and Reset
+	// preserve it across arena reuse; see SetWake.
+	wakeWord *uint32
+	wake     Wake
+}
+
+// Wake describes which wake-scheduler bits a queue mutation raises — the
+// dirty-bit refinement that keeps a sleeping unit asleep through mutations
+// that provably cannot flip its decision:
+//
+//   - PushAlways / PopAlways fire on every push / pop: for units whose
+//     predicates scan the queue's whole visible contents (a disambiguation
+//     or bypass scan), any insertion or removal can change the answer.
+//   - PushBelow fires only when the pre-push length is below BelowN: a unit
+//     that reads just the first BelowN entries (1 for a head consumer)
+//     cannot be affected by a push landing deeper, because entries ahead of
+//     it can only leave through that unit's own pops — which are its own
+//     actions. The length used is the raw occupancy, a lower bound on when
+//     the consumer could ever see the new entry, so firing is conservative.
+//   - PopFull fires only when the pre-pop length equals the capacity: a
+//     producer blocks on a full queue, so only the pop that breaks fullness
+//     can unblock it (the generalized blocked-dispatch gate).
+type Wake struct {
+	PushAlways uint32
+	PushBelow  uint32
+	BelowN     int
+	PopAlways  uint32
+	PopFull    uint32
 }
 
 // New returns an empty queue with the given name (for diagnostics) and
@@ -79,6 +115,15 @@ func (q *Q[T]) Name() string { return q.name }
 
 // SetObserver installs the push/pop observer (nil to disable).
 func (q *Q[T]) SetObserver(o Observer) { q.obs = o }
+
+// SetWake wires the queue to a wake scheduler: successful pushes and pops
+// OR the applicable masks of w into *word (nil word disables). Unlike the
+// observer, the wiring survives Init and Reset — it is part of the owning
+// machine's structure, established once at construction, not per-run state.
+func (q *Q[T]) SetWake(word *uint32, w Wake) {
+	q.wakeWord = word
+	q.wake = w
+}
 
 // account brings the occupancy integral up to cycle now. Callers pass
 // monotonically non-decreasing cycles.
@@ -146,6 +191,13 @@ func (q *Q[T]) Push(now int64, v T) bool {
 	q.pushes++
 	if q.n > q.peakLen {
 		q.peakLen = q.n
+	}
+	if q.wakeWord != nil {
+		mask := q.wake.PushAlways
+		if q.n-1 < q.wake.BelowN {
+			mask |= q.wake.PushBelow
+		}
+		*q.wakeWord |= mask
 	}
 	if q.obs != nil {
 		q.obs.QueueEvent(now, q.name, true, q.n)
@@ -224,6 +276,13 @@ func (q *Q[T]) Pop(now int64) (v T, ok bool) {
 	}
 	q.n--
 	q.pops++
+	if q.wakeWord != nil {
+		mask := q.wake.PopAlways
+		if q.n+1 == len(q.ring) {
+			mask |= q.wake.PopFull
+		}
+		*q.wakeWord |= mask
+	}
 	if q.obs != nil {
 		q.obs.QueueEvent(now, q.name, false, q.n)
 	}

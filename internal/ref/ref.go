@@ -86,7 +86,11 @@ func simulate(src trace.Source, cfg sim.Config, hook func(in *isa.Inst, issued i
 }
 
 // run is the dispatch loop: it replays the stream instruction by
-// instruction and returns the cycle at which the machine drained.
+// instruction and returns the cycle at which the machine drained. The REF
+// core is the degenerate one-unit case of the per-unit wake scheduler
+// (DESIGN.md §4i): a single in-order dispatch unit whose wake time is the
+// closed-form earliestIssue, so the clock jumps straight from issue to
+// issue — there is no wheel, no dirty bits, and no per-cycle loop to skip.
 //
 // declint:hotpath
 func (m *machine) run(st trace.Stream, hook func(in *isa.Inst, issued int64)) int64 {
